@@ -1,0 +1,132 @@
+"""Fig. 11: large-scale weak scaling, and the A100 portability result.
+
+Paper: weak scaling from 54 nodes (15.6 km) to 2,400 nodes (2.28 km) with
+192×192×80 points per node is nearly flat; Python FV3 is up to 3.92×
+faster than FORTRAN at scale; 0.11 SYPD at 2.28 km. On JUWELS Booster
+(A100), 54 ranks run 1.93 s/step — 2.42× faster than Piz Daint, with the
+A100 offering 2.83× the memory bandwidth.
+
+Substitution: per-node compute comes from the machine model over the
+whole-step SDFG; communication comes from the LogGP Aries model fed with
+the *exact* per-rank halo message sizes of our partitioner. Weak scaling
+is flat by construction of the decomposition — the reproduced claims are
+the per-node time, the speedup at scale, and the A100 ratio.
+"""
+
+import math
+
+import pytest
+
+from repro.core.machine import (
+    A100,
+    ARIES,
+    HASWELL,
+    JUWELS_BOOSTER,
+    P100,
+)
+from repro.core.perfmodel import model_sdfg_time
+from repro.core.pipeline import optimize_sdfg_locally
+from repro.fv3.config import DynamicalCoreConfig
+from repro.fv3.partitioner import CubedSpherePartitioner
+from repro.fv3.performance import SingleRankDynCore
+
+#: nodes → approximate grid spacing [km] from the paper's figure
+NODE_COUNTS = (54, 96, 216, 600, 1014, 1536, 2400)
+
+
+def _per_node_times(npx=96, npz=80):
+    """Modeled per-node compute time of one step, CPU vs tuned GPU."""
+    cfg = DynamicalCoreConfig(npx=npx, npz=npz, layout=1, k_split=1,
+                              n_split=5)
+    src = SingleRankDynCore(cfg)
+    sdfg = src.build_sdfg().sdfg
+    t_cpu = model_sdfg_time(sdfg, HASWELL)
+    optimize_sdfg_locally(sdfg, P100)
+    t_gpu = model_sdfg_time(sdfg, P100)
+    t_a100 = model_sdfg_time(sdfg, A100)
+    return t_cpu, t_gpu, t_a100, cfg
+
+
+def _comm_time(nodes, cfg, network, exchanges_per_step=20):
+    """Halo time per step from exact message volumes (nonblocking,
+    partially overlapped)."""
+    layout = max(1, int(math.sqrt(nodes / 6)))
+    p = CubedSpherePartitioner(cfg.npx * layout, layout)
+    msgs = p.boundary_message_bytes(n_halo=3, npz=cfg.npz, n_fields=3)
+    t = network.halo_exchange_time(msgs) * exchanges_per_step
+    return t * (1.0 - network.overlap_fraction)
+
+
+def test_fig11_weak_scaling(report, benchmark):
+    t_cpu, t_gpu, t_a100, cfg = benchmark.pedantic(
+        _per_node_times, rounds=1, iterations=1
+    )
+    report("Fig. 11 — weak scaling projection (192²-class per-node domain)")
+    report(f"{'nodes':>7} {'FORTRAN[s]':>11} {'Python GPU[s]':>14} {'speedup':>8}")
+    speedups = []
+    times = []
+    for nodes in NODE_COUNTS:
+        comm = _comm_time(nodes, cfg, ARIES)
+        total_cpu = t_cpu + comm
+        total_gpu = t_gpu + comm
+        speedups.append(total_cpu / total_gpu)
+        times.append(total_gpu)
+        report(f"{nodes:>7} {total_cpu:>11.4f} {total_gpu:>14.4f} "
+               f"{total_cpu / total_gpu:>7.2f}x")
+    report(f"paper: up to 3.92x at scale; nearly perfect weak scaling")
+    # weak scaling nearly flat: per-step time varies < 10% across scales
+    assert max(times) / min(times) < 1.10
+    # the GPU wins by a factor in the paper's neighborhood
+    assert 2.0 < max(speedups) < 8.0
+    # speedup at scale at least matches the 6-node-style configuration
+    assert speedups[-1] >= speedups[0] * 0.95
+
+    report()
+    report("JUWELS Booster (A100) portability:")
+    ratio = t_gpu / t_a100
+    report(f"  modeled P100/A100 step-time ratio: {ratio:.2f}x "
+           f"(paper: 2.42x; bandwidth ratio 2.83x)")
+    assert 1.8 < ratio < 2.9
+
+
+def test_fig11_sypd(report, benchmark):
+    """Throughput at scale: the paper reports 0.11 SYPD at 2.28 km with a
+    known acoustic time step; we report the analogous quantity."""
+    t_cpu, t_gpu, _, cfg = benchmark.pedantic(
+        _per_node_times, rounds=1, iterations=1
+    )
+    comm = _comm_time(2400, cfg, ARIES)
+    step = t_gpu + comm
+    # paper's effective dt per step at 2.28km-class resolution
+    dt_model = 11.25  # s of simulated time per dycore step (Fig. 11 scale)
+    sypd = dt_model / (step) * 86400 / (365 * 86400)
+    report(f"modeled step time at 2400 nodes: {step:.3f} s")
+    report(f"throughput: {sypd:.3f} SYPD (paper: 0.11 SYPD at 2.28 km)")
+    assert 0.005 < sypd < 5.0
+
+
+def test_measured_per_rank_invariance(report, benchmark):
+    """Measured sanity: the simulated multi-rank dycore's wall time per
+    rank stays roughly constant between 6 and 24 ranks (weak scaling of
+    the in-process substitute)."""
+    import time
+
+    from repro.fv3.dyncore import DynamicalCore
+
+    def step_time(layout):
+        cfg = DynamicalCoreConfig(
+            npx=12 * layout, npz=4, layout=layout, dt_atmos=60.0,
+            k_split=1, n_split=1,
+        )
+        core = DynamicalCore(cfg)
+        core.step_dynamics()  # build/compile
+        t0 = time.perf_counter()
+        core.step_dynamics()
+        elapsed = time.perf_counter() - t0
+        return elapsed / core.partitioner.total_ranks
+
+    t6 = benchmark.pedantic(lambda: step_time(1), rounds=1, iterations=1)
+    t24 = step_time(2)
+    report(f"per-rank step time: 6 ranks {t6*1e3:.1f} ms, "
+           f"24 ranks {t24*1e3:.1f} ms")
+    assert t24 / t6 < 3.0  # same order: weak-scaling-like behavior

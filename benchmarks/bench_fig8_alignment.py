@@ -1,0 +1,67 @@
+"""Fig. 8: the memory-allocation scheme — layout, padding, alignment.
+
+Paper: FORTRAN (I-contiguous) layout generates wide loads on the largest
+dimension; pre-padding aligns the first non-halo element, "yielding up to
+20 µs (~5%) of improvement on the tested stencil".
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsl.storage import StorageSpec, is_aligned, make_storage
+from repro.fv3.stencils.basic_ops import copy_stencil
+
+
+def test_fig8_allocation_properties(report, benchmark):
+    """The allocator must deliver the paper's three knobs."""
+    h = 3
+    shape = (192 + 2 * h, 192 + 2 * h, 80)
+
+    def alloc():
+        return make_storage(
+            shape,
+            spec=StorageSpec(layout="F", alignment_bytes=128),
+            aligned_index=(h, h, 0),
+        )
+
+    field = benchmark(alloc)
+    # FORTRAN layout: I is the unit-stride dimension
+    assert field.strides[0] == field.itemsize
+    assert field.strides[2] > field.strides[1] > field.strides[0]
+    # pre-padding: the first compute-domain element is aligned
+    assert is_aligned(field, (h, h, 0), 128)
+    report("Fig. 8 — allocation scheme")
+    report(f"strides (I,J,K): {field.strides} (I-contiguous, FORTRAN layout)")
+    addr = field.__array_interface__["data"][0]
+    first = addr + sum(i * s for i, s in zip((h, h, 0), field.strides))
+    report(f"first non-halo element offset mod 128 = {first % 128}")
+
+    c_field = make_storage(shape, spec=StorageSpec(layout="C"))
+    assert c_field.strides[2] == c_field.itemsize
+    # stride padding knob
+    padded = make_storage(
+        (16, 16), spec=StorageSpec(layout="F", stride_padding=2)
+    )
+    assert padded.strides[1] == 18 * padded.itemsize
+
+
+@pytest.mark.parametrize("aligned", [True, False])
+def test_fig8_measured_copy(benchmark, aligned, report):
+    """Measured copy-stencil time on aligned vs deliberately misaligned
+    storage (the paper's ~5% GPU effect; on a CPU/NumPy substrate the
+    difference is typically small — reported, not asserted)."""
+    h = 3
+    shape = (192 + 2 * h, 192 + 2 * h, 40)
+    spec = StorageSpec(layout="F", alignment_bytes=128 if aligned else 1)
+    q_in = make_storage(shape, spec=spec, aligned_index=(h, h, 0))
+    q_out = make_storage(shape, spec=spec, aligned_index=(h, h, 0))
+    q_in[...] = np.random.default_rng(0).random(shape)
+
+    benchmark(
+        lambda: copy_stencil(
+            q_in, q_out, origin=(h, h, 0), domain=(192, 192, 40)
+        )
+    )
+    report(
+        f"aligned={aligned}: median {benchmark.stats.stats.median*1e3:.3f} ms"
+    )

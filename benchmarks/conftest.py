@@ -1,0 +1,36 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper and writes
+the reproduced rows/series (paper value vs ours, where applicable) to
+``benchmarks/results/<name>.txt`` in addition to printing them.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report(request):
+    """Collects lines and writes them to results/<test_name>.txt."""
+    lines = []
+
+    class Reporter:
+        def __call__(self, text=""):
+            lines.append(str(text))
+
+        def table(self, header, rows):
+            self(header)
+            for row in rows:
+                self(row)
+
+    rep = Reporter()
+    yield rep
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = request.node.name.replace("[", "_").replace("]", "")
+    out = RESULTS_DIR / f"{name}.txt"
+    out.write_text("\n".join(lines) + "\n")
+    print()
+    print("\n".join(lines))

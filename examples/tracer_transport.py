@@ -1,0 +1,92 @@
+"""Solid-body-rotation tracer transport on the cubed sphere.
+
+Williamson test case 1: a Gaussian blob advected by a rigid-rotation wind
+field. Exercises the finite-volume transport operator (Table II's FVT),
+the halo exchange with tile-seam rotations, and the corner fills —
+and checks the transport invariants (mass conservation, monotonicity).
+
+Run:  python examples/tracer_transport.py [steps]
+"""
+
+import sys
+
+import numpy as np
+
+from repro.fv3 import constants
+from repro.fv3.config import DynamicalCoreConfig
+from repro.fv3.dyncore import DynamicalCore
+from repro.fv3.initial import (
+    RankFields,
+    gaussian_tracer,
+    reference_coordinate,
+    solid_body_rotation_winds,
+)
+
+
+def make_init(u0: float):
+    def init(grid, config):
+        nk = config.npz
+        u, v = solid_body_rotation_winds(grid, nk, u0=u0)
+        bk, ptop = reference_coordinate(config)
+        pe = ptop + bk[None, None, :] * (constants.P_REF - ptop)
+        delp = np.broadcast_to(
+            np.diff(pe, axis=-1), grid.shape + (nk,)
+        ).copy()
+        p_mid = 0.5 * (pe[..., :-1] + pe[..., 1:])
+        pt = np.full(grid.shape + (nk,), 280.0)
+        delz = -constants.RDGAS * pt * delp / (constants.GRAV * p_mid)
+        blob = gaussian_tracer(grid, nk, lon0=0.0, lat0=0.0, width=0.4)
+        return RankFields(
+            u=u, v=v, w=np.zeros_like(pt), pt=pt, delp=delp, delz=delz,
+            tracers=[blob],
+        )
+
+    return init
+
+
+def blob_position(core) -> tuple:
+    """(lon, lat) of the tracer maximum across all ranks."""
+    h = core.h
+    best = (-1.0, 0.0, 0.0)
+    for r, state in enumerate(core.states):
+        tr = state.tracers[0][h:-h, h:-h, 0]
+        i, j = np.unravel_index(np.argmax(tr), tr.shape)
+        value = tr[i, j]
+        if value > best[0]:
+            grid = core.grids[r]
+            best = (value, grid.lon[h + i, h + j], grid.lat[h + i, h + j])
+    return best
+
+
+def main(steps: int = 8) -> None:
+    config = DynamicalCoreConfig(
+        npx=16, npz=3, layout=1, dt_atmos=1200.0, k_split=1, n_split=3,
+        n_tracers=1, d2_damp=0.0, smag_coeff=0.0,
+    )
+    core = DynamicalCore(config, init=make_init(u0=40.0))
+    mass0 = core.tracer_integral(0)
+    peak0, lon0, lat0 = blob_position(core)
+    print(f"initial blob: peak={peak0:.3f} at lon={np.degrees(lon0):7.2f}°")
+
+    for step in range(1, steps + 1):
+        core.step_dynamics()
+        peak, lon, lat = blob_position(core)
+        drift = (core.tracer_integral(0) - mass0) / mass0
+        print(
+            f"step {step:>2}  blob at lon={np.degrees(lon):7.2f}° "
+            f"lat={np.degrees(lat):6.2f}°  peak={peak:.3f}  "
+            f"tracer mass drift={drift:+.2e}"
+        )
+
+    expected_deg = np.degrees(
+        40.0 * steps * config.dt_atmos / constants.RADIUS
+    )
+    print(f"\nexpected eastward drift ≈ {expected_deg:.1f}° "
+          f"(u0·t/R at the equator)")
+    mins = min(float(s.tracers[0][3:-3, 3:-3].min()) for s in core.states)
+    print(f"minimum tracer value: {mins:+.2e} (monotone scheme: ≈ no "
+          f"undershoot)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)

@@ -1,0 +1,15 @@
+"""repro — reproduction of "Productive Performance Engineering for Weather
+and Climate Modeling with Python" (SC'22).
+
+Subpackages:
+
+- :mod:`repro.dsl` — GT4Py-like declarative stencil DSL.
+- :mod:`repro.sdfg` — DaCe-like data-centric IR, transformations, codegen.
+- :mod:`repro.orchestration` — whole-program SDFG construction.
+- :mod:`repro.core` — the optimization methodology: machine models,
+  performance bounds, auto-tuning and transfer tuning, the Fig. 7 pipeline.
+- :mod:`repro.fv3` — the ported FV3 dynamical core and its substrate
+  (cubed-sphere grid, halo exchange, simulated communicator).
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,81 @@
+"""Initial schedule heuristics (Sec. VI-A).
+
+"We search the available space on a representative horizontal stencil and
+vertical solver separately, and apply the resulting scheme en masse in the
+dynamical core, providing a better starting point over the default
+parameters." The sweep evaluates every feasible schedule (Sec. V-A) of a
+representative kernel under the machine model and applies the winner to
+every kernel of the same iteration policy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.machine import MachineModel
+from repro.core.perfmodel import model_kernel_time
+from repro.sdfg.nodes import Kernel, KernelSchedule, feasible_schedules
+
+
+def sweep_schedules(
+    kernel: Kernel, sdfg, machine: MachineModel
+) -> List[Tuple[KernelSchedule, float]]:
+    """Evaluate all feasible schedules of one kernel, best first."""
+    results = []
+    original = kernel.schedule
+    try:
+        for sched in feasible_schedules(kernel.order):
+            sched = sched.copy()
+            sched.cached_fields = dict(original.cached_fields)
+            sched.regions_as_predication = original.regions_as_predication
+            sched.fuse_intervals = original.fuse_intervals
+            kernel.schedule = sched
+            results.append((sched, model_kernel_time(kernel, sdfg, machine)))
+    finally:
+        kernel.schedule = original
+    results.sort(key=lambda r: r[1])
+    return results
+
+
+def representative_kernels(sdfg) -> Dict[str, Kernel]:
+    """Pick the most expensive kernel of each iteration policy class.
+
+    "Representative" = the kernel moving the most bytes: its schedule
+    choice dominates the class.
+    """
+    best: Dict[str, Tuple[int, Kernel]] = {}
+    for kernel in sdfg.all_kernels():
+        cls = "vertical" if kernel.order in ("FORWARD", "BACKWARD") else "horizontal"
+        nbytes = kernel.moved_bytes(sdfg)
+        if cls not in best or nbytes > best[cls][0]:
+            best[cls] = (nbytes, kernel)
+    return {cls: k for cls, (_, k) in best.items()}
+
+
+def apply_schedule_heuristics(
+    sdfg, machine: MachineModel, reps: Optional[Dict[str, Kernel]] = None
+) -> Dict[str, KernelSchedule]:
+    """Sweep representatives and apply the winners en masse.
+
+    Returns the chosen schedule per class. With the paper's layout and
+    machine this recovers [Interval, Operation, K, J, I] for horizontal
+    stencils and [J, I, Interval, Operation, K] for vertical solvers
+    (Sec. VI-A4).
+    """
+    reps = reps or representative_kernels(sdfg)
+    chosen: Dict[str, KernelSchedule] = {}
+    for cls, kernel in reps.items():
+        ranked = sweep_schedules(kernel, sdfg, machine)
+        chosen[cls] = ranked[0][0]
+    for kernel in sdfg.all_kernels():
+        cls = "vertical" if kernel.order in ("FORWARD", "BACKWARD") else "horizontal"
+        if cls in chosen:
+            sched = chosen[cls].copy()
+            # per-kernel attributes are preserved; only the layout-related
+            # knobs are transferred en masse
+            sched.cached_fields = dict(kernel.schedule.cached_fields)
+            sched.regions_as_predication = kernel.schedule.regions_as_predication
+            sched.fuse_intervals = kernel.schedule.fuse_intervals
+            sched.device = kernel.schedule.device
+            kernel.schedule = sched
+    return chosen

@@ -1,0 +1,212 @@
+"""The ``@stencil`` decorator and the callable StencilObject.
+
+A decorated function is parsed once into the stencil IR; backends are
+compiled lazily on first use. The object also exposes the hooks used by the
+orchestration layer (Sec. V-B): ``__sdfg_node__`` inserts the stencil into a
+whole-program SDFG as a library node when a data-centric program calls it.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.dsl.backend_numpy import GridBounds, NumpyStencilExecutor
+from repro.dsl.extents import compute_extents
+from repro.dsl.frontend import parse_stencil
+from repro.dsl.ir import StencilDef
+
+#: Process-wide default backend, switchable for experiments.
+DEFAULT_BACKEND = "numpy"
+
+_VALID_BACKENDS = ("numpy", "dataflow")
+
+
+class StencilObject:
+    """A compiled, callable stencil."""
+
+    def __init__(self, definition_func, backend: Optional[str] = None,
+                 externals: Optional[Dict] = None, name: Optional[str] = None):
+        self._func = definition_func
+        self._backend_name = backend
+        self.externals = dict(externals or {})
+        self.definition: StencilDef = parse_stencil(definition_func, externals)
+        if name:
+            self.definition.name = name
+        self.name = self.definition.name
+        self.extents = compute_extents(self.definition)
+        self._executors: Dict[str, object] = {}
+        functools.update_wrapper(self, definition_func)
+
+    # ------------------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return self._backend_name or DEFAULT_BACKEND
+
+    @property
+    def field_names(self):
+        return [p.name for p in self.definition.field_params]
+
+    @property
+    def scalar_names(self):
+        return [p.name for p in self.definition.scalar_params]
+
+    @property
+    def n_halo(self) -> int:
+        """Maximum halo width any input field requires."""
+        return self.extents.max_halo()
+
+    def _executor(self, backend: str):
+        if backend not in _VALID_BACKENDS:
+            raise ValueError(
+                f"unknown backend {backend!r}; choose from {_VALID_BACKENDS}"
+            )
+        if backend not in self._executors:
+            if backend == "numpy":
+                self._executors[backend] = NumpyStencilExecutor(self.definition)
+            else:
+                from repro.dsl.backend_dataflow import DataflowStencilExecutor
+
+                self._executors[backend] = DataflowStencilExecutor(self)
+        return self._executors[backend]
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self,
+        *args,
+        origin: Optional[Tuple[int, int, int]] = None,
+        domain: Optional[Tuple[int, int, int]] = None,
+        bounds: Optional[GridBounds] = None,
+        backend: Optional[str] = None,
+        **kwargs,
+    ) -> None:
+        fields, scalars = self._bind_arguments(args, kwargs)
+        origin, domain = self._resolve_domain(fields, origin, domain)
+        self._validate(fields, origin, domain)
+        executor = self._executor(backend or self.backend)
+        executor(fields, scalars, origin, domain, bounds)
+
+    # ------------------------------------------------------------------
+    def _bind_arguments(self, args, kwargs):
+        params = self.definition.params
+        if len(args) > len(params):
+            raise TypeError(
+                f"{self.name}: too many positional arguments "
+                f"({len(args)} > {len(params)})"
+            )
+        bound = {p.name: a for p, a in zip(params, args)}
+        for key, value in kwargs.items():
+            if key in bound:
+                raise TypeError(f"{self.name}: duplicate argument {key!r}")
+            bound[key] = value
+        fields: Dict[str, np.ndarray] = {}
+        scalars: Dict[str, float] = {}
+        for p in params:
+            if p.name not in bound:
+                raise TypeError(f"{self.name}: missing argument {p.name!r}")
+            value = bound.pop(p.name)
+            if p.is_field:
+                arr = np.asarray(value)
+                if arr.ndim != p.field_type.ndim:
+                    raise TypeError(
+                        f"{self.name}: field {p.name!r} must be "
+                        f"{p.field_type.ndim}D (axes {p.field_type.axes}), "
+                        f"got {arr.ndim}D"
+                    )
+                fields[p.name] = arr
+            else:
+                scalars[p.name] = value
+        if bound:
+            raise TypeError(
+                f"{self.name}: unexpected arguments {sorted(bound)}"
+            )
+        return fields, scalars
+
+    def _resolve_domain(self, fields, origin, domain):
+        h = self.n_halo
+        if origin is None:
+            origin = (h, h, 0)
+        if domain is None:
+            for p in self.definition.field_params:
+                if p.field_type.axes == "IJK":
+                    s = fields[p.name].shape
+                    domain = (
+                        s[0] - origin[0] - h,
+                        s[1] - origin[1] - h,
+                        s[2] - origin[2],
+                    )
+                    break
+            else:
+                raise TypeError(
+                    f"{self.name}: domain cannot be inferred without a 3D field"
+                )
+        if min(domain) < 1:
+            raise ValueError(f"{self.name}: empty domain {domain}")
+        return tuple(origin), tuple(domain)
+
+    def _validate(self, fields, origin, domain) -> None:
+        ni, nj, nk = domain
+        for p in self.definition.field_params:
+            arr = fields[p.name]
+            ext = self.extents.field_extents.get(p.name)
+            if ext is None:
+                continue
+            axes = p.field_type.axes
+            req = []
+            if "I" in axes:
+                req.append((origin[0] + ext.i_lo, origin[0] + ni + ext.i_hi))
+            if "J" in axes:
+                req.append((origin[1] + ext.j_lo, origin[1] + nj + ext.j_hi))
+            if "K" in axes:
+                # exact per-interval vertical footprint: fields may have a
+                # different k size than the domain (staggered interfaces)
+                from repro.dsl.extents import k_access_bounds
+
+                kb = k_access_bounds(self.definition, p.name, nk)
+                if kb is not None:
+                    req.append((origin[2] + kb[0], origin[2] + kb[1]))
+            for dim, (lo, hi) in enumerate(req):
+                if lo < 0 or hi > arr.shape[dim]:
+                    raise ValueError(
+                        f"{self.name}: field {p.name!r} shape {arr.shape} "
+                        f"cannot satisfy accesses [{lo}, {hi}) along axis "
+                        f"{dim} for domain {domain} at origin {origin}"
+                    )
+
+    # ------------------------------------------------------------------
+    # Orchestration hooks (Sec. V-B)
+    # ------------------------------------------------------------------
+    def __sdfg_node__(self):
+        """Create a StencilComputation library node for this stencil."""
+        from repro.sdfg.nodes import StencilComputation
+
+        return StencilComputation.from_stencil(self)
+
+    def __repr__(self) -> str:
+        return f"StencilObject({self.name!r}, backend={self.backend!r})"
+
+
+def stencil(func=None, *, backend: Optional[str] = None,
+            externals: Optional[Dict] = None, name: Optional[str] = None):
+    """Decorator turning a definition function into a compiled stencil.
+
+    Usable bare (``@stencil``) or with options
+    (``@stencil(backend="dataflow", externals={...})``).
+    """
+    if func is not None:
+        return StencilObject(func)
+
+    def wrapper(f):
+        return StencilObject(f, backend=backend, externals=externals, name=name)
+
+    return wrapper
+
+
+def set_default_backend(backend: str) -> None:
+    """Switch the process-wide default backend ("numpy" or "dataflow")."""
+    global DEFAULT_BACKEND
+    if backend not in _VALID_BACKENDS:
+        raise ValueError(f"unknown backend {backend!r}")
+    DEFAULT_BACKEND = backend

@@ -1,0 +1,150 @@
+"""The acoustic sub-step loop (the blue region of Fig. 2).
+
+One acoustic sub-step of the Lagrangian dynamics:
+
+1. halo exchange of the winds (nonblocking in the paper; routed through
+   the in-process communicator here),
+2. ``c_sw``: interface winds, Courant numbers, swept areas, divergence,
+3. ``riem_solver_c``: the semi-implicit vertical solve for w and δz,
+4. halo exchange of the transported scalars,
+5. ``d_sw``: finite-volume transport of δp/pt/w, vector-invariant momentum
+   update with Smagorinsky and divergence damping,
+6. accumulation of Courant numbers/mass fluxes for the tracer transport.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.fv3 import constants
+from repro.fv3.communicator import LocalComm
+from repro.fv3.config import DynamicalCoreConfig
+from repro.fv3.corners import rank_corners
+from repro.fv3.grid import CubedSphereGrid
+from repro.fv3.halo import HaloUpdater
+from repro.fv3.initial import RankFields
+from repro.fv3.partitioner import CubedSpherePartitioner
+from repro.fv3.stencils.c_sw import CGridSolver
+from repro.fv3.stencils.d_sw import DGridSolver
+from repro.fv3.stencils.fvtp2d import FiniteVolumeTransport
+from repro.fv3.stencils.riem_solver_c import RiemannSolverC
+from repro.fv3.stencils.tracer2d import accumulate_fluxes
+
+
+class RankWorkspace:
+    """Per-rank work arrays of the acoustic step."""
+
+    def __init__(self, nx, ny, nk, h):
+        shape = (nx + 2 * h, ny + 2 * h, nk)
+        self.crx = np.zeros(shape)
+        self.cry = np.zeros(shape)
+        self.xfx = np.zeros(shape)
+        self.yfx = np.zeros(shape)
+        self.crx_adv = np.zeros(shape)
+        self.cry_adv = np.zeros(shape)
+        self.xfx_adv = np.zeros(shape)
+        self.yfx_adv = np.zeros(shape)
+        self.delpc = np.zeros(shape)
+        self.pe_nh = np.zeros(shape)
+
+    def zero_accumulators(self):
+        self.crx_adv[:] = 0.0
+        self.cry_adv[:] = 0.0
+        self.xfx_adv[:] = 0.0
+        self.yfx_adv[:] = 0.0
+
+
+class AcousticDynamics:
+    """Drives the acoustic loop across all simulated ranks."""
+
+    def __init__(
+        self,
+        config: DynamicalCoreConfig,
+        partitioner: CubedSpherePartitioner,
+        grids: List[CubedSphereGrid],
+        states: List[RankFields],
+        halo: HaloUpdater,
+        n_halo: int = constants.N_HALO,
+    ):
+        self.config = config
+        self.partitioner = partitioner
+        self.grids = grids
+        self.states = states
+        self.halo = halo
+        self.h = n_halo
+        nx, ny, nk = partitioner.nx, partitioner.ny, config.npz
+        self.work = [
+            RankWorkspace(nx, ny, nk, n_halo)
+            for _ in range(partitioner.total_ranks)
+        ]
+        self.c_sw = []
+        self.d_sw = []
+        self.riemann = []
+        self.transports = []
+        for rank in range(partitioner.total_ranks):
+            grid = grids[rank]
+            transport = FiniteVolumeTransport(
+                nx, ny, nk, grid.rarea, rank_corners(partitioner, rank),
+                n_halo=n_halo,
+            )
+            self.transports.append(transport)
+            self.c_sw.append(
+                CGridSolver(nx, ny, nk, grid.dx, grid.dy, grid.rarea,
+                            n_halo=n_halo)
+            )
+            self.d_sw.append(
+                DGridSolver(grid, transport, config,
+                            bounds=partitioner.bounds(rank), n_halo=n_halo)
+            )
+            self.riemann.append(RiemannSolverC(nx, ny, nk, n_halo=n_halo))
+
+    # ------------------------------------------------------------------
+    def substep(self, dt: float) -> None:
+        """One acoustic sub-step across all ranks."""
+        states, work = self.states, self.work
+        nranks = self.partitioner.total_ranks
+        # winds with rotated halos
+        self.halo.update_vector(
+            [s.u for s in states], [s.v for s in states]
+        )
+        for r in range(nranks):
+            self.c_sw[r](
+                states[r].u, states[r].v,
+                work[r].crx, work[r].cry, work[r].xfx, work[r].yfx,
+                work[r].delpc, dt,
+            )
+            self.riemann[r](
+                states[r].w, states[r].delz, states[r].pt,
+                states[r].delp, work[r].pe_nh, dt,
+            )
+        for field in ("delp", "pt", "w"):
+            self.halo.update_scalar([getattr(s, field) for s in states])
+        for r in range(nranks):
+            self.d_sw[r].transport_fields(
+                states[r].delp, states[r].pt, states[r].w,
+                work[r].crx, work[r].cry, work[r].xfx, work[r].yfx,
+            )
+            self.d_sw[r].momentum(
+                states[r].u, states[r].v, states[r].pt, states[r].delp,
+                states[r].delz, work[r].delpc, dt,
+            )
+            self.d_sw[r].damp_fields(states[r].delp, states[r].pt)
+            nx, ny, nk = (
+                self.partitioner.nx, self.partitioner.ny, self.config.npz,
+            )
+            accumulate_fluxes(
+                work[r].crx, work[r].cry, work[r].xfx, work[r].yfx,
+                work[r].crx_adv, work[r].cry_adv,
+                work[r].xfx_adv, work[r].yfx_adv,
+                1.0,
+                origin=(0, 0, 0),
+                domain=(nx + 2 * self.h, ny + 2 * self.h, nk),
+            )
+
+    def run(self, dt_acoustic: float, n_split: int) -> None:
+        for w in self.work:
+            w.zero_accumulators()
+        for _ in range(n_split):
+            self.substep(dt_acoustic)

@@ -1,0 +1,22 @@
+"""Physical constants (GFDL FV3 values)."""
+
+#: Earth radius [m]
+RADIUS = 6.3712e6
+#: Rotation rate of Earth [1/s]
+OMEGA = 7.292e-5
+#: Gravitational acceleration [m/s^2]
+GRAV = 9.80665
+#: Gas constant for dry air [J/kg/K]
+RDGAS = 287.04
+#: Specific heat at constant pressure [J/kg/K]
+CP_AIR = 1004.6
+#: kappa = R/cp
+KAPPA = RDGAS / CP_AIR
+#: Reference surface pressure [Pa]
+P_REF = 1.0e5
+#: Speed-of-sound-ish constant for the simplified nonhydrostatic solver
+SOUND_SPEED = 340.0
+#: Number of cubed-sphere tiles
+N_TILES = 6
+#: Halo width used by the transport scheme (PPM needs 3 upwind cells)
+N_HALO = 3

@@ -1,0 +1,76 @@
+"""Tile-corner halo filling (the FORTRAN ``copy_corners``).
+
+The cubed sphere has no cells diagonally across a tile corner: after a
+halo exchange, corner halo cells contain the neighbor's own halo data.
+Before a directional transport sweep, FV3 overwrites them with values
+copied from the perpendicular halo so the sweep sees a consistent
+continuation. This runs as interpreted Python (an automatic callback in
+orchestrated programs, Sec. V-B) since the index transposes are not
+constant-offset stencils.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+from repro.fv3 import constants
+from repro.fv3.partitioner import CubedSpherePartitioner
+
+
+def _fill_sw_x(q: np.ndarray, h: int) -> None:
+    """x-direction fill of the southwest corner block.
+
+    Derived from the FORTRAN copy_corners: in compute coordinates,
+    ``q[i, j] = q[j, -1-i]`` for i, j in [-h, 0): corner cells read the
+    west-halo columns at the first interior rows.
+    """
+    # dst[a, b] = q[b, 2h-1-a]  for a, b in [0, h)
+    q[:h, :h] = q[:h, h : 2 * h].swapaxes(0, 1)[::-1]
+
+
+def fill_corners(
+    q: np.ndarray,
+    direction: str,
+    corners: Iterable[str] = ("sw", "se", "nw", "ne"),
+    n_halo: int = constants.N_HALO,
+) -> None:
+    """Fill tile-corner halo blocks of one rank's array in place.
+
+    Args:
+        q: array shaped (nx + 2h, ny + 2h[, nk]).
+        direction: "x" before x sweeps, "y" before y sweeps.
+        corners: which tile corners this rank owns.
+    """
+    h = n_halo
+    view = q if direction == "x" else q.swapaxes(0, 1)
+    # map every corner onto the SW case by flipping axes
+    flips = {
+        "sw": view,
+        "se": view[::-1, :],
+        "nw": view[:, ::-1],
+        "ne": view[::-1, ::-1],
+    }
+    wanted = set(corners)
+    if direction == "y":
+        # transposing swaps the roles of se and nw
+        remap = {"sw": "sw", "se": "nw", "nw": "se", "ne": "ne"}
+        wanted = {remap[c] for c in wanted}
+    for name, v in flips.items():
+        if name in wanted:
+            _fill_sw_x(v, h)
+
+
+def rank_corners(partitioner: CubedSpherePartitioner, rank: int):
+    """Which tile corners a rank's subdomain touches."""
+    out = []
+    if partitioner.on_tile_edge(rank, "W") and partitioner.on_tile_edge(rank, "S"):
+        out.append("sw")
+    if partitioner.on_tile_edge(rank, "E") and partitioner.on_tile_edge(rank, "S"):
+        out.append("se")
+    if partitioner.on_tile_edge(rank, "W") and partitioner.on_tile_edge(rank, "N"):
+        out.append("nw")
+    if partitioner.on_tile_edge(rank, "E") and partitioner.on_tile_edge(rank, "N"):
+        out.append("ne")
+    return out

@@ -1,0 +1,78 @@
+"""Quantity: a model field with units, dims and halo-aware views."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.dsl.storage import StorageSpec, make_storage
+from repro.fv3 import constants
+
+
+@dataclasses.dataclass
+class Quantity:
+    """A named field with halo metadata.
+
+    The backing ``data`` array includes halos on the horizontal axes; the
+    ``view`` property exposes the compute domain, matching the paper's
+    productivity goal of fields with clear metadata (Sec. IV-A).
+    """
+
+    name: str
+    data: np.ndarray
+    units: str = ""
+    n_halo: int = constants.N_HALO
+    dims: Tuple[str, ...] = ("x", "y", "z")
+
+    @classmethod
+    def zeros(
+        cls,
+        name: str,
+        nx: int,
+        ny: int,
+        nz: Optional[int] = None,
+        units: str = "",
+        n_halo: int = constants.N_HALO,
+        spec: Optional[StorageSpec] = None,
+    ) -> "Quantity":
+        h = n_halo
+        shape = (nx + 2 * h, ny + 2 * h) + ((nz,) if nz else ())
+        data = make_storage(
+            shape, spec=spec or StorageSpec(), aligned_index=(h, h) + ((0,) if nz else ())
+        )
+        dims = ("x", "y", "z") if nz else ("x", "y")
+        return cls(name=name, data=data, units=units, n_halo=h, dims=dims)
+
+    @property
+    def view(self) -> np.ndarray:
+        """Compute-domain view (halos excluded)."""
+        h = self.n_halo
+        sl = (slice(h, self.data.shape[0] - h), slice(h, self.data.shape[1] - h))
+        return self.data[sl]
+
+    @property
+    def origin(self) -> Tuple[int, ...]:
+        if len(self.dims) == 3:
+            return (self.n_halo, self.n_halo, 0)
+        return (self.n_halo, self.n_halo)
+
+    @property
+    def domain(self) -> Tuple[int, ...]:
+        h = self.n_halo
+        base = (self.data.shape[0] - 2 * h, self.data.shape[1] - 2 * h)
+        if len(self.dims) == 3:
+            return base + (self.data.shape[2],)
+        return base
+
+    def copy(self) -> "Quantity":
+        return Quantity(
+            self.name, self.data.copy(), self.units, self.n_halo, self.dims
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Quantity({self.name!r}, domain={self.domain}, "
+            f"halo={self.n_halo}, units={self.units!r})"
+        )

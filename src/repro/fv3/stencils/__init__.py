@@ -1,0 +1,2 @@
+"""DSL stencil modules of the dynamical core (one file per FORTRAN
+subroutine kept by the port, Sec. IV-A)."""

@@ -1,0 +1,44 @@
+"""Elementary stencils: copies, scaling, the bandwidth-test kernel."""
+
+from repro.dsl import Field, FieldIJ, PARALLEL, computation, interval, stencil
+
+
+@stencil
+def copy_stencil(q_in: Field, q_out: Field):
+    """The Sec. VIII-A bandwidth probe: one input, one output."""
+    with computation(PARALLEL), interval(...):
+        q_out = q_in
+
+
+@stencil
+def scale_stencil(q: Field, factor: float):
+    with computation(PARALLEL), interval(...):
+        q = q * factor
+
+
+@stencil
+def axpy_stencil(x: Field, y: Field, alpha: float):
+    with computation(PARALLEL), interval(...):
+        y = alpha * x + y
+
+
+@stencil
+def flux_divergence(q: Field, fx: Field, fy: Field, rarea: FieldIJ):
+    """q += div(F): the conservative flux-form update.
+
+    ``fx``/``fy`` hold fluxes at the left/south interface of each cell.
+    """
+    with computation(PARALLEL), interval(...):
+        q = q + (fx - fx[1, 0, 0] + fy - fy[0, 1, 0]) * rarea
+
+
+@stencil
+def mass_weighted_divergence(
+    q: Field, delp_old: Field, delp_new: Field, fx: Field, fy: Field,
+    rarea: FieldIJ,
+):
+    """Update a mass-weighted scalar: q = (q·δp + div F) / δp_new."""
+    with computation(PARALLEL), interval(...):
+        q = (
+            q * delp_old + (fx - fx[1, 0, 0] + fy - fy[0, 1, 0]) * rarea
+        ) / delp_new

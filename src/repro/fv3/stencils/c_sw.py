@@ -1,0 +1,77 @@
+"""C-grid preparation (the FORTRAN ``c_sw``): interface winds, Courant
+numbers and swept areas for the transport operators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dsl import Field, FieldIJ, PARALLEL, computation, interval, stencil
+from repro.fv3 import constants
+from repro.orchestration import orchestrate
+
+
+@stencil
+def cgrid_winds_x(
+    ua: Field, dx: FieldIJ, dy: FieldIJ, crx: Field, xfx: Field, dt: float
+):
+    """Interface wind, Courant number and swept area at west interfaces."""
+    with computation(PARALLEL), interval(...):
+        uc = 0.5 * (ua[-1, 0, 0] + ua)
+        crx = uc * dt * 2.0 / (dx[-1, 0, 0] + dx)
+        xfx = uc * dt * 0.5 * (dy[-1, 0, 0] + dy)
+
+
+@stencil
+def cgrid_winds_y(
+    va: Field, dx: FieldIJ, dy: FieldIJ, cry: Field, yfx: Field, dt: float
+):
+    with computation(PARALLEL), interval(...):
+        vc = 0.5 * (va[0, -1, 0] + va)
+        cry = vc * dt * 2.0 / (dy[0, -1, 0] + dy)
+        yfx = vc * dt * 0.5 * (dx[0, -1, 0] + dx)
+
+
+@stencil
+def divergence_cgrid(
+    xfx: Field, yfx: Field, rarea: FieldIJ, delpc: Field, dt: float
+):
+    """Normalized wind divergence from the swept areas (the ``delpc``
+    input of the Smagorinsky kernel, Sec. VI-C1)."""
+    with computation(PARALLEL), interval(...):
+        delpc = (xfx[1, 0, 0] - xfx + yfx[0, 1, 0] - yfx) * rarea / dt
+
+
+class CGridSolver:
+    """Computes the C-grid quantities consumed by the acoustic step."""
+
+    def __init__(self, nx, ny, nk, dx, dy, rarea, n_halo=constants.N_HALO):
+        self.nx, self.ny, self.nk, self.h = nx, ny, nk, n_halo
+        self.dx, self.dy, self.rarea = dx, dy, rarea
+
+    @orchestrate
+    def __call__(
+        self,
+        ua: np.ndarray,
+        va: np.ndarray,
+        crx: np.ndarray,
+        cry: np.ndarray,
+        xfx: np.ndarray,
+        yfx: np.ndarray,
+        delpc: np.ndarray,
+        dt: float,
+    ):
+        nx, ny, nk, h = self.nx, self.ny, self.nk, self.h
+        # interface quantities on the extended domain (the transport
+        # operator reads them in the halo)
+        cgrid_winds_x(
+            ua, self.dx, self.dy, crx, xfx, dt,
+            origin=(1, 0, 0), domain=(nx + 2 * h - 1, ny + 2 * h, nk),
+        )
+        cgrid_winds_y(
+            va, self.dx, self.dy, cry, yfx, dt,
+            origin=(0, 1, 0), domain=(nx + 2 * h, ny + 2 * h - 1, nk),
+        )
+        divergence_cgrid(
+            xfx, yfx, self.rarea, delpc, dt,
+            origin=(h - 1, h - 1, 0), domain=(nx + 1, ny + 1, nk),
+        )

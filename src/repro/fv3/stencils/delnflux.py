@@ -1,0 +1,29 @@
+"""Del-n damping fluxes (the FORTRAN ``deln_flux``): second-order
+diffusive fluxes added to the transported quantities to control grid-scale
+noise (Sec. II: divergence/vorticity damping options)."""
+
+from repro.dsl import Field, FieldIJ, PARALLEL, computation, interval, stencil
+
+
+@stencil
+def del2_flux_x(q: Field, dy: FieldIJ, rdx: FieldIJ, fx2: Field, damp: float):
+    """Diffusive x flux: damp · ∂q/∂x · dy (down-gradient)."""
+    with computation(PARALLEL), interval(...):
+        fx2 = damp * (q[-1, 0, 0] - q) * 0.5 * (dy[-1, 0, 0] + dy) * rdx
+
+
+@stencil
+def del2_flux_y(q: Field, dx: FieldIJ, rdy: FieldIJ, fy2: Field, damp: float):
+    with computation(PARALLEL), interval(...):
+        fy2 = damp * (q[0, -1, 0] - q) * 0.5 * (dx[0, -1, 0] + dx) * rdy
+
+
+@stencil
+def add_flux_divergence(q: Field, fx2: Field, fy2: Field, rarea: FieldIJ):
+    """Apply the damping flux divergence.
+
+    ``fx2`` is the down-gradient flux through the west interface (positive
+    in +x); accumulation = inflow − outflow, which smooths extrema.
+    """
+    with computation(PARALLEL), interval(...):
+        q = q + (fx2 - fx2[1, 0, 0] + fy2 - fy2[0, 1, 0]) * rarea

@@ -1,0 +1,41 @@
+"""PPM reconstruction and upwind flux in the y direction.
+
+A duplicate of :mod:`xppm` with the offsets on the second horizontal
+dimension — the module-duplication concession of Sec. IV-D (variable
+offsets are not expressible in the DSL).
+"""
+
+from repro.dsl import Field, PARALLEL, computation, interval, stencil
+
+
+@stencil
+def yppm_flux(q: Field, cr: Field, flux: Field):
+    """PPM flux through the *south* interface of each cell.
+
+    ``cr`` is the Courant number at the interface between cells j-1 and j.
+    """
+    with computation(PARALLEL), interval(...):
+        al = 7.0 / 12.0 * (q[0, -1, 0] + q) - 1.0 / 12.0 * (
+            q[0, -2, 0] + q[0, 1, 0]
+        )
+        # interface values are clamped between the adjacent cell means
+        al = min(max(al, min(q[0, -1, 0], q)), max(q[0, -1, 0], q))
+        bl = al - q
+        br = al[0, 1, 0] - q
+        if bl * br >= 0.0:
+            bl = 0.0
+            br = 0.0
+        else:
+            da = br - bl
+            a6 = -3.0 * (bl + br)
+            if da * a6 > da * da:
+                bl = -2.0 * br
+            elif da * a6 < -(da * da):
+                br = -2.0 * bl
+        b0 = bl + br
+        if cr > 0.0:
+            flux = q[0, -1, 0] + (1.0 - cr) * (
+                br[0, -1, 0] - cr * b0[0, -1, 0]
+            )
+        else:
+            flux = q + (1.0 + cr) * (bl + cr * b0)

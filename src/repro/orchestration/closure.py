@@ -1,0 +1,124 @@
+"""Closure resolution (Sec. V-B, Fig. 6).
+
+"Methods and functions that depend on external data are transpiled into
+free functions ... Resolving closures inlines class structures at
+preprocessing time, supporting Python OOP. With closures and constants
+resolved, a call-tree analysis detects and consolidates multiple instances
+of the same array object (e.g., used in different classes) to avoid data
+races."
+
+``resolve_closure`` rewrites ``self.x`` into reads of ``__g_self_x`` and
+returns the value bound to each such name; the SDFG builder consolidates
+identical array objects reached through different attribute paths into a
+single data container by object identity.
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import inspect
+import textwrap
+from typing import Any, Dict, Tuple
+
+
+class ClosureError(ValueError):
+    pass
+
+
+class _SelfRewriter(ast.NodeTransformer):
+    """Rewrite attribute chains rooted at known objects into flat names."""
+
+    def __init__(self, roots: Dict[str, Any]):
+        self.roots = roots
+        self.bindings: Dict[str, Any] = {}
+
+    def visit_Attribute(self, node: ast.Attribute):
+        chain = _attribute_chain(node)
+        if chain is not None:
+            root, path = chain
+            if root in self.roots and isinstance(node.ctx, ast.Load):
+                name = f"__g_{root}_" + "_".join(path)
+                if name not in self.bindings:
+                    value = self.roots[root]
+                    try:
+                        for attr in path:
+                            value = getattr(value, attr)
+                    except AttributeError as exc:
+                        raise ClosureError(
+                            f"cannot resolve {root}.{'.'.join(path)}: {exc}"
+                        ) from exc
+                    self.bindings[name] = value
+                return ast.copy_location(
+                    ast.Name(id=name, ctx=ast.Load()), node
+                )
+        self.generic_visit(node)
+        return node
+
+
+def _attribute_chain(node: ast.Attribute):
+    """Return (root_name, [attr, ...]) for a pure attribute chain."""
+    path = [node.attr]
+    value = node.value
+    while isinstance(value, ast.Attribute):
+        path.append(value.attr)
+        value = value.value
+    if isinstance(value, ast.Name):
+        return value.id, list(reversed(path))
+    return None
+
+
+def get_function_ast(func) -> ast.FunctionDef:
+    source = textwrap.dedent(inspect.getsource(func))
+    tree = ast.parse(source)
+    node = tree.body[0]
+    if not isinstance(node, ast.FunctionDef):
+        raise ClosureError("expected a function definition")
+    # drop decorators: the free function must not re-orchestrate itself
+    node.decorator_list = []
+    return node
+
+
+def resolve_closure(
+    func, instance: Any = None
+) -> Tuple[ast.FunctionDef, Dict[str, Any]]:
+    """Turn a (bound) method into a free function plus closure bindings.
+
+    Attribute reads of ``self`` (and of the method's module-level globals
+    holding arrays) become reads of fresh ``__g_*`` names; the returned
+    mapping binds each name to the live Python object. Method *calls* on
+    ``self`` are left untouched — the SDFG builder resolves them (inlining
+    orchestrated methods, falling back to callbacks otherwise).
+    """
+    node = copy.deepcopy(get_function_ast(func))
+    roots: Dict[str, Any] = {}
+    if instance is not None:
+        roots["self"] = instance
+        # remove the self parameter from the signature
+        if node.args.args and node.args.args[0].arg == "self":
+            node.args.args = node.args.args[1:]
+    rewriter = _SelfRewriter(roots)
+
+    # rewrite every statement, but leave `self.method(...)` call targets
+    # intact by pre-marking them
+    marked = _mark_method_calls(node)
+    new_node = rewriter.visit(node)
+    _unmark_method_calls(marked)
+    ast.fix_missing_locations(new_node)
+    return new_node, rewriter.bindings
+
+
+def _mark_method_calls(node: ast.FunctionDef):
+    """Temporarily detach `obj.method(...)` func attributes so the
+    rewriter does not flatten the method object itself."""
+    marked = []
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+            marked.append((sub, sub.func))
+            sub.func = ast.Name(id="__method_call_placeholder__", ctx=ast.Load())
+    return marked
+
+
+def _unmark_method_calls(marked) -> None:
+    for call, func in marked:
+        call.func = func

@@ -1,0 +1,673 @@
+"""Orchestration: build one SDFG from object-oriented model code.
+
+``@orchestrate`` turns a function or method into an
+:class:`OrchestratedProgram`. On first call, the program is *built*: the
+Python source is closure-resolved (Fig. 6) and preprocessed (constant
+propagation, unrolling, dead branches), then walked statement by
+statement:
+
+- calls to ``@stencil`` objects insert StencilComputation library nodes
+  (``__sdfg_node__`` protocol, Sec. V-B);
+- calls to other orchestrated functions/methods are inlined recursively;
+- any other call becomes an automatic :class:`Callback` with ``__pystate``
+  serialization;
+- remaining counted ``for`` loops become SDFG loop regions;
+- scalar argument arithmetic becomes Tasklets.
+
+Arrays reached through different names/attributes are consolidated into
+one container by object identity ("call-tree analysis detects and
+consolidates multiple instances of the same array object").
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dsl.backend_numpy import GridBounds
+from repro.dsl.stencil import StencilObject
+from repro.orchestration.closure import get_function_ast, resolve_closure
+from repro.orchestration.preprocessor import preprocess_function, try_const_eval
+from repro.sdfg.graph import SDFG, SDFGState
+from repro.sdfg.nodes import Callback, StencilComputation, Tasklet
+
+
+class OrchestrationError(ValueError):
+    pass
+
+
+_CONSTANT_TYPES = (bool, int, float, str, type(None))
+
+
+class _ScalarAlias:
+    """A runtime scalar passed down into an inlined function under a new
+    parameter name: reads resolve to the *outer* scalar name so updated
+    values flow in on every call without rebuilding."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __repr__(self) -> str:
+        return f"_ScalarAlias({self.name!r})"
+
+
+class _Builder:
+    """Builds one whole-program SDFG."""
+
+    def __init__(self, name: str):
+        self.sdfg = SDFG(name)
+        self.container_of: Dict[int, str] = {}
+        self.array_of: Dict[str, np.ndarray] = {}
+        self.runtime_scalars: List[str] = []
+        self._scalar_counter = 0
+        self._state: Optional[SDFGState] = None
+        self._label = name
+
+    # ---- containers -----------------------------------------------------
+
+    def register_array(self, array: np.ndarray, hint: str) -> str:
+        key = id(array)
+        if key in self.container_of:
+            return self.container_of[key]
+        name = hint.lstrip("_") or "arr"
+        base, n = name, 0
+        while name in self.sdfg.arrays:
+            n += 1
+            name = f"{base}_{n}"
+        axes = {3: "IJK", 2: "IJ", 1: "K"}.get(array.ndim)
+        if axes is None:
+            raise OrchestrationError(
+                f"field {hint!r} has unsupported rank {array.ndim}"
+            )
+        self.sdfg.add_array(name, array.shape, array.dtype.type, axes=axes)
+        self.container_of[key] = name
+        self.array_of[name] = array
+        return name
+
+    # ---- states -----------------------------------------------------------
+
+    def state(self, label: str) -> SDFGState:
+        if self._state is None:
+            self._state = self.sdfg.add_state(
+                f"s{len(self.sdfg.states)}_{label}"
+            )
+        return self._state
+
+    def cut_state(self) -> None:
+        self._state = None
+
+    # ---- function walking ---------------------------------------------------
+
+    def build_function(
+        self,
+        func: Callable,
+        instance: Any,
+        args: Tuple,
+        kwargs: Dict,
+        label: str,
+    ) -> None:
+        node, bindings = resolve_closure(func, instance)
+        # lowest priority: module globals and closure freevars (stencil
+        # objects, helper modules, shared arrays)
+        env: Dict[str, Any] = dict(getattr(func, "__globals__", {}))
+        closure_cells = getattr(func, "__closure__", None)
+        if closure_cells:
+            for fname, cell in zip(func.__code__.co_freevars, closure_cells):
+                try:
+                    env[fname] = cell.cell_contents
+                except ValueError:  # pragma: no cover
+                    pass
+        env.update(bindings)
+        if instance is not None:
+            env["self"] = instance  # method-call resolution (self.foo(...))
+        # bind call arguments
+        params = [a.arg for a in node.args.args]
+        defaults = node.args.defaults
+        default_values = {}
+        for pname, dnode in zip(params[len(params) - len(defaults):], defaults):
+            ok, val = try_const_eval(dnode, {})
+            if ok:
+                default_values[pname] = val
+        bound = dict(default_values)
+        bound.update(dict(zip(params, args)))
+        bound.update(kwargs)
+        missing = [p for p in params if p not in bound]
+        if missing:
+            raise OrchestrationError(f"{label}: missing arguments {missing}")
+        env.update(bound)
+
+        constants = {
+            k: v for k, v in env.items() if isinstance(v, _CONSTANT_TYPES)
+        }
+        # top-level float/int arguments stay runtime scalars unless they are
+        # structural (used in loop bounds the preprocessor must fold)
+        runtime = {
+            k
+            for k in bound
+            if isinstance(env.get(k), (float, np.floating))
+        }
+        for k in runtime:
+            constants.pop(k, None)
+            if k not in self.runtime_scalars:
+                self.runtime_scalars.append(k)
+        # aliased runtime scalars from an enclosing inline (keep the outer
+        # name; never treat the build-time value as a constant)
+        for k in bound:
+            if isinstance(env.get(k), _ScalarAlias):
+                constants.pop(k, None)
+
+        processed = preprocess_function(node, constants)
+        outer = self._label
+        self._label = label
+        try:
+            self._walk_block(processed.body, env, constants)
+        finally:
+            self._label = outer
+
+    # ------------------------------------------------------------------
+    def _walk_block(self, stmts, env, constants) -> None:
+        for stmt in stmts:
+            if isinstance(stmt, ast.Expr):
+                if isinstance(stmt.value, ast.Constant):
+                    continue  # docstring
+                if isinstance(stmt.value, ast.Call):
+                    self._handle_call(stmt.value, env, constants)
+                    continue
+                raise OrchestrationError(
+                    f"line {stmt.lineno}: unsupported expression statement"
+                )
+            if isinstance(stmt, ast.Assign):
+                self._handle_assign(stmt, env, constants)
+                continue
+            if isinstance(stmt, ast.For):
+                self._handle_loop(stmt, env, constants)
+                continue
+            if isinstance(stmt, ast.If):
+                raise OrchestrationError(
+                    f"line {stmt.lineno}: data-dependent branch could not be "
+                    "resolved at orchestration time; wrap it in a callback"
+                )
+            if isinstance(stmt, ast.Pass):
+                continue
+            if isinstance(stmt, ast.Return):
+                if stmt.value is None or (
+                    isinstance(stmt.value, ast.Constant)
+                    and stmt.value.value is None
+                ):
+                    continue
+                raise OrchestrationError(
+                    "orchestrated programs mutate arrays and return None"
+                )
+            raise OrchestrationError(
+                f"line {stmt.lineno}: unsupported statement "
+                f"{type(stmt).__name__}"
+            )
+
+    # ------------------------------------------------------------------
+    def _handle_loop(self, stmt: ast.For, env, constants) -> None:
+        ok, iterable = try_const_eval(stmt.iter, constants)
+        if not ok:
+            raise OrchestrationError(
+                f"line {stmt.lineno}: loop bound is not a compile-time "
+                "constant"
+            )
+        count = len(list(iterable))
+        if count == 0:
+            return
+        self.cut_state()
+        first = len(self.sdfg.states)
+        self._walk_block(stmt.body, env, constants)
+        self.cut_state()
+        last = len(self.sdfg.states) - 1
+        if last >= first:
+            self.sdfg.add_loop(first, last, count, label=f"loop_l{stmt.lineno}")
+
+    # ------------------------------------------------------------------
+    def _handle_assign(self, stmt: ast.Assign, env, constants) -> None:
+        if len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Tuple):
+            targets = stmt.targets[0].elts
+            if not all(isinstance(t, ast.Name) for t in targets):
+                raise OrchestrationError(
+                    f"line {stmt.lineno}: unpacking targets must be names"
+                )
+            values = self._resolve_value(stmt.value, env)
+            if len(values) != len(targets):
+                raise OrchestrationError(
+                    f"line {stmt.lineno}: unpacking arity mismatch"
+                )
+            for t, v in zip(targets, values):
+                env[t.id] = v
+                if isinstance(v, _CONSTANT_TYPES):
+                    constants[t.id] = v
+            return
+        if len(stmt.targets) != 1 or not isinstance(stmt.targets[0], ast.Name):
+            raise OrchestrationError(
+                f"line {stmt.lineno}: only simple name assignments are "
+                "supported between stencils"
+            )
+        name = stmt.targets[0].id
+        ok, value = try_const_eval(stmt.value, constants)
+        if ok:
+            env[name] = value
+            if isinstance(value, _CONSTANT_TYPES):
+                constants[name] = value
+            return
+        try:
+            value = self._resolve_value(stmt.value, env)
+        except OrchestrationError as exc:
+            raise OrchestrationError(
+                f"line {stmt.lineno}: cannot resolve assignment: {exc}"
+            ) from exc
+        env[name] = value
+        if isinstance(value, _CONSTANT_TYPES):
+            constants[name] = value
+
+    # ------------------------------------------------------------------
+    def _handle_call(self, call: ast.Call, env, constants) -> None:
+        callee, owner = self._resolve_callee(call.func, env)
+        if isinstance(callee, StencilObject):
+            self._add_stencil(callee, call, env, constants)
+            return
+        if isinstance(callee, OrchestratedProgram):
+            args, kwargs = self._eval_call_args(call, env, preserve_scalars=True)
+            self.build_function(
+                callee.func, callee.instance, args, kwargs, callee.name
+            )
+            return
+        if hasattr(callee, "__wrapped_orchestrate__"):
+            args, kwargs = self._eval_call_args(call, env, preserve_scalars=True)
+            inner = callee.__wrapped_orchestrate__
+            self.build_function(inner, owner, args, kwargs, inner.__name__)
+            return
+        # automatic callback fallback (Sec. V-B)
+        args, kwargs = self._eval_call_args(call, env)
+        label = getattr(callee, "__name__", str(callee))
+        self.cut_state()
+        state = self.state(f"cb_{label}")
+        state.add(Callback(label, callee, tuple(args), kwargs))
+        self.cut_state()
+
+    def _resolve_callee(self, func_node, env):
+        if isinstance(func_node, ast.Name):
+            if func_node.id in env:
+                return self._normalize_callee(env[func_node.id], None)
+            raise OrchestrationError(f"unknown callee {func_node.id!r}")
+        if isinstance(func_node, ast.Attribute):
+            owner = self._resolve_value(func_node.value, env)
+            try:
+                bound = getattr(owner, func_node.attr)
+            except AttributeError as exc:
+                raise OrchestrationError(str(exc)) from exc
+            return self._normalize_callee(bound, owner)
+        raise OrchestrationError("unsupported callee expression")
+
+    @staticmethod
+    def _normalize_callee(obj, owner):
+        # bound orchestrated methods carry the original function
+        inner = getattr(obj, "__func__", None)
+        if inner is not None and hasattr(inner, "__wrapped_orchestrate__"):
+            return _MethodShim(inner.__wrapped_orchestrate__), owner
+        if isinstance(obj, OrchestratedProgram):
+            return obj, owner
+        # callable module objects whose __call__ is orchestrated get inlined
+        # with the object itself as the bound instance
+        call_attr = type(obj).__dict__.get("__call__")
+        if isinstance(call_attr, OrchestratedProgram):
+            return OrchestratedProgram(call_attr.func, obj), obj
+        return obj, owner
+
+    def _eval_call_args(self, call: ast.Call, env, preserve_scalars=False):
+        def resolve(node):
+            # preserve runtime-scalar identity through orchestrated inlining
+            if preserve_scalars and isinstance(node, ast.Name):
+                value = env.get(node.id)
+                if isinstance(value, _ScalarAlias):
+                    return value
+                if node.id in self.runtime_scalars:
+                    return _ScalarAlias(node.id)
+            return self._resolve_value(node, env)
+
+        args = [resolve(a) for a in call.args]
+        kwargs = {kw.arg: resolve(kw.value) for kw in call.keywords
+                  if kw.arg is not None}
+        return args, kwargs
+
+    def _resolve_value(self, node, env):
+        if isinstance(node, ast.Constant):
+            return node.value
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            raise OrchestrationError(f"unknown name {node.id!r}")
+        if isinstance(node, ast.Attribute):
+            owner = self._resolve_value(node.value, env)
+            try:
+                return getattr(owner, node.attr)
+            except AttributeError as exc:
+                raise OrchestrationError(str(exc)) from exc
+        if isinstance(node, ast.Subscript):
+            container = self._resolve_value(node.value, env)
+            ok, key = try_const_eval(node.slice, env)
+            if not ok:
+                key = self._resolve_value(node.slice, env)
+            return container[key]
+        if isinstance(node, ast.Tuple):
+            return tuple(self._resolve_value(e, env) for e in node.elts)
+        if isinstance(node, (ast.BinOp, ast.UnaryOp)):
+            ok, value = try_const_eval(node, env)
+            if ok:
+                return value
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "dict"
+            and not node.args
+        ):
+            return {
+                kw.arg: self._resolve_value(kw.value, env)
+                for kw in node.keywords
+                if kw.arg is not None
+            }
+        raise OrchestrationError(
+            f"cannot resolve value of {type(node).__name__}"
+        )
+
+    # ------------------------------------------------------------------
+    def _add_stencil(self, stencil: StencilObject, call, env, constants):
+        sd = stencil.definition
+        params = [p.name for p in sd.params]
+        # scalar arguments may be runtime expressions: value resolution is
+        # best-effort (the AST node drives the scalar lowering)
+        pos_values = []
+        for a in call.args:
+            try:
+                pos_values.append(self._resolve_value(a, env))
+            except OrchestrationError:
+                pos_values.append(None)
+        bound_nodes: Dict[str, ast.expr] = {}
+        for pname, anode in zip(params, call.args):
+            bound_nodes[pname] = anode
+        call_kwargs: Dict[str, Any] = {}
+        bound_values = dict(zip(params, pos_values))
+        for kw in call.keywords:
+            if kw.arg is None:  # **kwargs expansion resolved at build time
+                expanded = self._resolve_value(kw.value, env)
+                if not isinstance(expanded, dict):
+                    raise OrchestrationError(
+                        f"{sd.name}: ** argument must resolve to a dict"
+                    )
+                for key, value in expanded.items():
+                    if key in ("origin", "domain", "bounds", "backend"):
+                        call_kwargs[key] = value
+                    else:
+                        bound_values[key] = value
+            elif kw.arg in ("origin", "domain", "bounds", "backend"):
+                call_kwargs[kw.arg] = self._resolve_value(kw.value, env)
+            else:
+                bound_nodes[kw.arg] = kw.value
+                bound_values[kw.arg] = self._resolve_value(kw.value, env)
+
+        mapping: Dict[str, str] = {}
+        for p in sd.field_params:
+            if p.name not in bound_values:
+                raise OrchestrationError(
+                    f"{sd.name}: missing field argument {p.name!r}"
+                )
+            arr = bound_values[p.name]
+            if not isinstance(arr, np.ndarray):
+                raise OrchestrationError(
+                    f"{sd.name}: field {p.name!r} did not resolve to an array"
+                )
+            hint = _name_hint(bound_nodes.get(p.name), p.name)
+            mapping[p.name] = self.register_array(arr, hint)
+
+        scalar_mapping: Dict[str, str] = {}
+        state = self.state(sd.name)
+        for p in sd.scalar_params:
+            if p.name not in bound_values and p.name not in bound_nodes:
+                raise OrchestrationError(
+                    f"{sd.name}: missing scalar argument {p.name!r}"
+                )
+            scalar_mapping[p.name] = self._scalar_source(
+                bound_nodes.get(p.name), bound_values.get(p.name), env, state
+            )
+
+        origin = call_kwargs.get("origin")
+        domain = call_kwargs.get("domain")
+        bounds = call_kwargs.get("bounds")
+        h = stencil.n_halo
+        if origin is None:
+            origin = (h, h, 0)
+        if domain is None:
+            for p in sd.field_params:
+                if p.field_type.axes == "IJK":
+                    s = bound_values[p.name].shape
+                    domain = (
+                        s[0] - origin[0] - h,
+                        s[1] - origin[1] - h,
+                        s[2] - origin[2],
+                    )
+                    break
+        node = StencilComputation(
+            sd,
+            stencil.extents,
+            mapping=mapping,
+            domain=tuple(domain),
+            origin=tuple(origin),
+            scalar_mapping=scalar_mapping,
+            bounds=bounds if isinstance(bounds, GridBounds) else None,
+        )
+        state.add(node)
+
+    def _scalar_source(self, node, value, env, state) -> str:
+        """Map a scalar argument expression to a program scalar name."""
+        if node is None:  # bound through ** expansion: value only
+            if isinstance(value, (bool, int, float, np.floating)):
+                name = self._fresh_scalar("const")
+                self.sdfg.scalars[name] = float(value)
+                return name
+            raise OrchestrationError(
+                f"scalar bound via ** did not resolve to a number: {value!r}"
+            )
+        # bare runtime-scalar name (or an alias to one): pass through
+        if isinstance(node, ast.Name):
+            if node.id in self.runtime_scalars:
+                return node.id
+            if isinstance(env.get(node.id), _ScalarAlias):
+                return env[node.id].name
+        if isinstance(value, _ScalarAlias):
+            return value.name
+        # expressions over runtime scalars must NOT be folded to their
+        # build-time values (the scalar may change between calls)
+        references_runtime = any(
+            isinstance(sub, ast.Name)
+            and (
+                sub.id in self.runtime_scalars
+                or isinstance(env.get(sub.id), _ScalarAlias)
+            )
+            for sub in ast.walk(node)
+        )
+        if references_runtime:
+            return self._scalar_tasklet(node, state, env)
+        ok, const = try_const_eval(node, {
+            k: v for k, v in env.items() if isinstance(v, _CONSTANT_TYPES)
+        })
+        if ok:
+            name = self._fresh_scalar("const")
+            self.sdfg.scalars[name] = float(const)
+            return name
+        if value is not None and isinstance(value, (int, float, np.floating)):
+            # resolvable at build time (e.g. attribute reads): constant-fold
+            name = self._fresh_scalar("c")
+            self.sdfg.scalars[name] = float(value)
+            return name
+        raise OrchestrationError(
+            f"cannot lower scalar expression {ast.dump(node)}"
+        )
+
+    def _scalar_tasklet(self, node, state, env=None) -> str:
+        """Emit a Tasklet computing a derived scalar from runtime scalars."""
+        env = env or {}
+        code = ast.unparse(node)
+        names = set()
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Name):
+                continue
+            if sub.id in self.runtime_scalars:
+                names.add(sub.id)
+            elif isinstance(env.get(sub.id), _ScalarAlias):
+                outer = env[sub.id].name
+                code = _replace_word_boundary(code, sub.id, outer)
+                names.add(outer)
+        ok_shape = all(
+            isinstance(sub, (ast.Name, ast.Constant, ast.BinOp, ast.UnaryOp))
+            or isinstance(sub, (ast.operator, ast.unaryop, ast.expr_context))
+            for sub in ast.walk(node)
+        )
+        if not ok_shape or not names:
+            raise OrchestrationError(
+                f"cannot lower scalar expression {ast.dump(node)}"
+            )
+        out = self._fresh_scalar("expr")
+        state.add(Tasklet(f"tasklet_{out}", code, tuple(sorted(names)), out))
+        return out
+
+    def _fresh_scalar(self, hint: str) -> str:
+        self._scalar_counter += 1
+        return f"__s{self._scalar_counter}_{hint}"
+
+
+def _replace_word_boundary(code: str, name: str, repl: str) -> str:
+    import re
+
+    return re.sub(rf"\b{re.escape(name)}\b", repl, code)
+
+
+def _name_hint(node, fallback: str) -> str:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        chain = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            chain.append(cur.attr)
+            cur = cur.value
+        return "_".join(reversed(chain))
+    return fallback
+
+
+class _MethodShim:
+    """Marks a method resolved through an instance as inlinable."""
+
+    def __init__(self, inner):
+        self.__wrapped_orchestrate__ = inner
+
+
+class OrchestratedProgram:
+    """A callable whole-program SDFG wrapper (built on first call)."""
+
+    def __init__(self, func: Callable, instance: Any = None,
+                 optimize: Optional[Callable] = None):
+        self.func = func
+        self.instance = instance
+        self.optimize = optimize
+        self.name = func.__name__
+        self._builder: Optional[_Builder] = None
+        self._compiled = None
+        self._build_key = None
+        #: cache of previous builds: key → (builder, compiled)
+        self._builds: Dict[tuple, tuple] = {}
+
+    # -- descriptor protocol: @orchestrate on methods ---------------------
+    def __get__(self, obj, objtype=None):
+        if obj is None:
+            return self
+        cache_name = f"_orchestrated_{self.name}"
+        program = obj.__dict__.get(cache_name)
+        if program is None:
+            program = OrchestratedProgram(self.func, obj, self.optimize)
+            obj.__dict__[cache_name] = program
+        return program
+
+    @property
+    def sdfg(self) -> Optional[SDFG]:
+        return self._builder.sdfg if self._builder else None
+
+    def build(self, *args, **kwargs) -> SDFG:
+        """Build (or rebuild) the whole-program SDFG for these arguments."""
+        builder = _Builder(self.name)
+        builder.build_function(self.func, self.instance, args, kwargs, self.name)
+        builder.sdfg.expand_library_nodes()
+        if self.optimize is not None:
+            self.optimize(builder.sdfg)
+        self._builder = builder
+        self._compiled = None
+        self._build_key = self._key(args, kwargs)
+        return builder.sdfg
+
+    def compile(self, instrument: bool = False):
+        from repro.sdfg.codegen import compile_sdfg
+
+        if self._builder is None:
+            raise OrchestrationError("build() the program first")
+        self._compiled = compile_sdfg(self._builder.sdfg, instrument=instrument)
+        return self._compiled
+
+    def _key(self, args, kwargs):
+        ids = tuple(
+            id(a) if isinstance(a, np.ndarray) else ("v", repr(type(a)))
+            for a in args
+        )
+        kids = tuple(
+            (k, id(v)) if isinstance(v, np.ndarray) else (k, repr(type(v)))
+            for k, v in sorted(kwargs.items())
+        )
+        return ids + kids
+
+    def __call__(self, *args, **kwargs):
+        key = self._key(args, kwargs)
+        if self._build_key != key:
+            cached = self._builds.get(key)
+            if cached is not None:
+                self._builder, self._compiled = cached
+                self._build_key = key
+            else:
+                self.build(*args, **kwargs)
+        if self._compiled is None:
+            self.compile()
+        self._builds[self._build_key] = (self._builder, self._compiled)
+        scalars = dict(self._builder.sdfg.scalars)
+        node = get_function_ast(self.func)
+        params = [a.arg for a in node.args.args if a.arg != "self"]
+        bound = dict(zip(params, args))
+        bound.update(kwargs)
+        for name in self._builder.runtime_scalars:
+            if name in bound:
+                scalars[name] = float(bound[name])
+        self._compiled(arrays=self._builder.array_of, scalars=scalars)
+
+    @property
+    def kernel_times(self):
+        return self._compiled.kernel_times if self._compiled else {}
+
+
+def orchestrate(func=None, *, optimize: Optional[Callable] = None):
+    """Decorator: turn a function/method into an orchestrated program.
+
+    Methods of model classes decorated with ``@orchestrate`` are inlined
+    when called from another orchestrated program (closure resolution per
+    Fig. 6); top-level entry points are built into a single SDFG spanning
+    the whole time step.
+    """
+    def wrap(f):
+        program = OrchestratedProgram(f, optimize=optimize)
+        # allow nested inlining to find the original function
+        f.__wrapped_orchestrate__ = f
+        program.func.__wrapped_orchestrate__ = f
+        return program
+
+    if func is not None:
+        return wrap(func)
+    return wrap

@@ -1,0 +1,34 @@
+"""Data-centric IR (Stateful Dataflow Multigraphs) and optimizations.
+
+A structural reproduction of the DaCe SDFG described in Sec. III-B: data
+containers and data movement (memlets) are explicit and separate from
+computation; stencils enter the graph as *library nodes* and are expanded
+into map-scoped kernels whose schedules can be mutated by graph-rewriting
+transformations without touching user code.
+"""
+
+from repro.sdfg.graph import SDFG, InterstateEdge, SDFGState
+from repro.sdfg.memlet import Memlet
+from repro.sdfg.nodes import (
+    AccessNode,
+    Callback,
+    Kernel,
+    KernelSchedule,
+    StencilComputation,
+    Tasklet,
+)
+from repro.sdfg.subsets import Range
+
+__all__ = [
+    "SDFG",
+    "AccessNode",
+    "Callback",
+    "InterstateEdge",
+    "Kernel",
+    "KernelSchedule",
+    "Memlet",
+    "Range",
+    "SDFGState",
+    "StencilComputation",
+    "Tasklet",
+]

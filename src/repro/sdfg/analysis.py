@@ -1,0 +1,87 @@
+"""Data-movement and instruction-mix analysis over SDFGs.
+
+These queries power the model-driven performance engineering discipline
+(Sec. VI): exact per-kernel byte counts, arithmetic intensities, and the
+program-wide load/store fraction the paper measures with PAPI (Sec. VIII:
+40.15% of executed instructions were load/store operations).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List
+
+from repro.sdfg.nodes import Kernel
+
+
+@dataclasses.dataclass
+class KernelCost:
+    """Static cost summary of one kernel."""
+
+    label: str
+    bytes_moved: int
+    excess_bytes: int
+    flops: int
+    launches: int
+    invocations: int
+    order: str
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        return self.flops / max(self.bytes_moved, 1)
+
+
+def kernel_costs(sdfg) -> List[KernelCost]:
+    """Per-kernel static costs, weighted by loop invocation counts."""
+    invocations = sdfg.kernel_invocations()
+    out = []
+    for si, state in enumerate(sdfg.states):
+        for node in state.nodes:
+            if isinstance(node, Kernel):
+                out.append(
+                    KernelCost(
+                        label=node.label,
+                        bytes_moved=node.moved_bytes(sdfg),
+                        excess_bytes=node.excess_access_bytes(sdfg),
+                        flops=node.flops(),
+                        launches=node.launch_count(),
+                        invocations=invocations[si],
+                        order=node.order,
+                    )
+                )
+    return out
+
+
+def total_bytes(sdfg) -> int:
+    """Total modeled DRAM traffic of one program execution."""
+    return sum(c.bytes_moved * c.invocations for c in kernel_costs(sdfg))
+
+
+def total_flops(sdfg) -> int:
+    return sum(c.flops * c.invocations for c in kernel_costs(sdfg))
+
+
+def load_store_fraction(sdfg) -> float:
+    """Fraction of "instructions" that are loads/stores.
+
+    Modeled as element accesses vs. (element accesses + arithmetic ops),
+    the analytic analogue of the paper's PAPI measurement.
+    """
+    import numpy as np
+
+    accesses = 0
+    flops = 0
+    for cost in kernel_costs(sdfg):
+        accesses += (cost.bytes_moved + cost.excess_bytes) * cost.invocations / 8.0
+        flops += cost.flops * cost.invocations
+    denom = accesses + flops
+    return float(accesses / denom) if denom else 0.0
+
+
+def memory_footprint(sdfg) -> Dict[str, int]:
+    """Bytes allocated per container category."""
+    persistent = sum(
+        d.nbytes for d in sdfg.arrays.values() if not d.transient
+    )
+    transient = sum(d.nbytes for d in sdfg.arrays.values() if d.transient)
+    return {"persistent": persistent, "transient": transient}

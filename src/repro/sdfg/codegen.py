@@ -1,0 +1,463 @@
+"""Code generation: SDFG → vectorized NumPy Python source.
+
+The paper's DaCe backend generates CUDA/C++; this reproduction generates a
+single Python module of vectorized NumPy statements. That preserves the
+properties the evaluation relies on:
+
+- whole-program compilation removes the per-stencil interpreter overhead of
+  the debug backend (argument binding, validation, temporary allocation);
+- transient elision and fusion transformations remove real array traffic;
+- per-kernel instrumentation yields the measured runtimes that the
+  model-driven analysis (Fig. 10) combines with modeled peak times.
+
+Compiled programs are bit-compatible with the pure NumPy backend.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dsl.ir import (
+    Assign,
+    AxisIndexExpr,
+    BinOp,
+    Call,
+    Expr,
+    FieldAccess,
+    Literal,
+    ScalarRef,
+    Ternary,
+    UnaryOp,
+)
+from repro.sdfg.nodes import Callback, Kernel, StencilComputation, Tasklet
+
+_NP_FUNCS = {
+    "sqrt": "np.sqrt",
+    "abs": "np.abs",
+    "exp": "np.exp",
+    "log": "np.log",
+    "sin": "np.sin",
+    "cos": "np.cos",
+    "tan": "np.tan",
+    "asin": "np.arcsin",
+    "acos": "np.arccos",
+    "atan": "np.arctan",
+    "floor": "np.floor",
+    "ceil": "np.ceil",
+    "trunc": "np.trunc",
+    "min": "np.minimum",
+    "max": "np.maximum",
+    "sign": "np.sign",
+}
+
+
+class _SourceBuilder:
+    def __init__(self):
+        self.lines: List[str] = []
+        self.indent = 0
+
+    def emit(self, line: str = "") -> None:
+        self.lines.append("    " * self.indent + line if line else "")
+
+    def source(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _ExprEmitter:
+    """Translate IR expressions into NumPy source strings."""
+
+    def __init__(self, kernel: Kernel, sdfg, local_prefix: str):
+        self.kernel = kernel
+        self.sdfg = sdfg
+        self.local_prefix = local_prefix
+
+    def array_name(self, name: str) -> str:
+        if name in self.kernel.local_arrays:
+            return f"{self.local_prefix}{name}"
+        return name
+
+    def axes(self, name: str) -> str:
+        if name in self.kernel.local_arrays:
+            return "IJK"
+        return self.sdfg.arrays[name].axes
+
+    def origin(self, name: str) -> Tuple[int, int, int]:
+        if name in self.kernel.local_arrays:
+            ext = self.kernel.local_arrays[name]
+            return (-ext.i_lo, -ext.j_lo, -ext.k_lo)
+        return self.kernel.origin_of(name)
+
+    # ---- 3D (parallel) context -------------------------------------------
+
+    def access_3d(self, name, offset, irng, jrng, krng) -> str:
+        axes = self.axes(name)
+        oi, oj, ok = self.origin(name)
+        di, dj, dk = offset
+        parts = []
+        if "I" in axes:
+            parts.append(f"{oi + irng[0] + di}:{oi + irng[1] + di}")
+        if "J" in axes:
+            parts.append(f"{oj + jrng[0] + dj}:{oj + jrng[1] + dj}")
+        if "K" in axes:
+            parts.append(f"{ok + krng[0] + dk}:{ok + krng[1] + dk}")
+        src = f"{self.array_name(name)}[{', '.join(parts)}]"
+        if axes == "IJ":
+            src += "[:, :, np.newaxis]"
+        elif axes == "K":
+            src += "[np.newaxis, np.newaxis, :]"
+        return src
+
+    def expr_3d(self, expr: Expr, irng, jrng, krng) -> str:
+        e = lambda x: self.expr_3d(x, irng, jrng, krng)  # noqa: E731
+        if isinstance(expr, Literal):
+            return repr(expr.value)
+        if isinstance(expr, ScalarRef):
+            return f"__s_{expr.name}"
+        if isinstance(expr, FieldAccess):
+            return self.access_3d(expr.name, expr.offset, irng, jrng, krng)
+        if isinstance(expr, AxisIndexExpr):
+            if expr.axis == "I":
+                return f"np.arange({irng[0]}, {irng[1]}).reshape(-1, 1, 1)"
+            if expr.axis == "J":
+                return f"np.arange({jrng[0]}, {jrng[1]}).reshape(1, -1, 1)"
+            return f"np.arange({krng[0]}, {krng[1]}).reshape(1, 1, -1)"
+        return self._compound(expr, e)
+
+    # ---- 2D (per-level) context --------------------------------------------
+
+    def access_2d(self, name, offset, irng, jrng, k_src: str) -> str:
+        axes = self.axes(name)
+        oi, oj, ok = self.origin(name)
+        di, dj, dk = offset
+        parts = []
+        if "I" in axes:
+            parts.append(f"{oi + irng[0] + di}:{oi + irng[1] + di}")
+        if "J" in axes:
+            parts.append(f"{oj + jrng[0] + dj}:{oj + jrng[1] + dj}")
+        if "K" in axes:
+            shift = ok + dk
+            parts.append(f"{k_src} + {shift}" if shift else k_src)
+        src = f"{self.array_name(name)}[{', '.join(parts)}]"
+        if axes == "K":
+            src += "[np.newaxis, np.newaxis]" if False else ""
+        return src
+
+    def expr_2d(self, expr: Expr, irng, jrng, k_src: str) -> str:
+        e = lambda x: self.expr_2d(x, irng, jrng, k_src)  # noqa: E731
+        if isinstance(expr, Literal):
+            return repr(expr.value)
+        if isinstance(expr, ScalarRef):
+            return f"__s_{expr.name}"
+        if isinstance(expr, FieldAccess):
+            return self.access_2d(expr.name, expr.offset, irng, jrng, k_src)
+        if isinstance(expr, AxisIndexExpr):
+            if expr.axis == "I":
+                return f"np.arange({irng[0]}, {irng[1]}).reshape(-1, 1)"
+            if expr.axis == "J":
+                return f"np.arange({jrng[0]}, {jrng[1]}).reshape(1, -1)"
+            return f"({k_src})"
+        return self._compound(expr, e)
+
+    # ---- shared -----------------------------------------------------------
+
+    def _compound(self, expr: Expr, e) -> str:
+        if isinstance(expr, BinOp):
+            if expr.op == "and":
+                return f"np.logical_and({e(expr.left)}, {e(expr.right)})"
+            if expr.op == "or":
+                return f"np.logical_or({e(expr.left)}, {e(expr.right)})"
+            return f"({e(expr.left)} {expr.op} {e(expr.right)})"
+        if isinstance(expr, UnaryOp):
+            if expr.op == "not":
+                return f"np.logical_not({e(expr.operand)})"
+            return f"(-{e(expr.operand)})"
+        if isinstance(expr, Call):
+            args = ", ".join(e(a) for a in expr.args)
+            return f"{_NP_FUNCS[expr.func]}({args})"
+        if isinstance(expr, Ternary):
+            return f"np.where({e(expr.cond)}, {e(expr.then)}, {e(expr.orelse)})"
+        raise TypeError(f"cannot generate code for {type(expr).__name__}")
+
+
+def _kernel_source(kernel: Kernel, sdfg, out: _SourceBuilder) -> None:
+    """Emit the body of one kernel."""
+    prefix = f"__loc{kernel.node_id}_"
+    em = _ExprEmitter(kernel, sdfg, prefix)
+    ni, nj, nk = kernel.domain
+
+    # allocate (and, when partially written, zero) kernel-local arrays
+    for name, ext in kernel.local_arrays.items():
+        shape = (
+            ni - ext.i_lo + ext.i_hi,
+            nj - ext.j_lo + ext.j_hi,
+            nk - ext.k_lo + ext.k_hi,
+        )
+        # zero-filled to match the debug backend's temporary semantics
+        out.emit(f"{prefix}{name} = np.zeros({shape!r})")
+
+    for section in kernel.sections:
+        k0, k1 = section.interval.resolve(nk)
+        k0, k1 = max(k0, 0), min(k1, nk)
+        if k0 >= k1:
+            continue
+        if kernel.order == "PARALLEL":
+            for stmt, ext in section.statements:
+                _emit_parallel_stmt(kernel, em, out, stmt, ext, (k0, k1))
+        else:
+            if kernel.order == "FORWARD":
+                out.emit(f"for __k in range({k0}, {k1}):")
+            else:
+                out.emit(f"for __k in range({k1 - 1}, {k0 - 1}, -1):")
+            out.indent += 1
+            for stmt, ext in section.statements:
+                _emit_level_stmt(kernel, em, out, stmt, ext, "__k")
+            out.indent -= 1
+
+
+def _ranges_for(kernel: Kernel, stmt: Assign, ext):
+    """Full horizontal statement ranges and (for regions) restricted ones."""
+    ni, nj, _ = kernel.domain
+    full = ((ext.i_lo, ni + ext.i_hi), (ext.j_lo, nj + ext.j_hi))
+    if stmt.region is None:
+        return full, None
+    from repro.dsl.backend_numpy import region_ranges
+
+    restricted = region_ranges(stmt.region, kernel.domain, kernel.bounds, ext)
+    return full, restricted
+
+
+def _emit_parallel_stmt(kernel, em, out, stmt, ext, krng) -> None:
+    full, restricted = _ranges_for(kernel, stmt, ext)
+    predicate = kernel.schedule.regions_as_predication and stmt.region is not None
+    if stmt.region is not None and restricted is None:
+        return  # region empty on this rank
+    irng, jrng = full if predicate else (restricted or full)
+
+    target_axes = em.axes(stmt.target.name)
+    if target_axes == "IJ":
+        if krng[1] - krng[0] != 1:
+            raise ValueError(
+                f"cannot write 2D field {stmt.target.name!r} over a "
+                "multi-level interval"
+            )
+        _emit_level_stmt(kernel, em, out, stmt, ext, str(krng[0]), irjr=(irng, jrng))
+        return
+
+    lhs = em.access_3d(stmt.target.name, (0, 0, 0), irng, jrng, krng)
+    val = em.expr_3d(stmt.value, irng, jrng, krng)
+    conds = []
+    if predicate:
+        (ri, rj) = restricted
+        out.emit(
+            f"__ri = np.arange({irng[0]}, {irng[1]}).reshape(-1, 1, 1)"
+        )
+        out.emit(
+            f"__rj = np.arange({jrng[0]}, {jrng[1]}).reshape(1, -1, 1)"
+        )
+        conds.append(
+            f"((__ri >= {ri[0]}) & (__ri < {ri[1]}) & "
+            f"(__rj >= {rj[0]}) & (__rj < {rj[1]}))"
+        )
+    if stmt.mask is not None:
+        conds.append(em.expr_3d(stmt.mask, irng, jrng, krng))
+    if conds:
+        cond = " & ".join(f"({c})" for c in conds) if len(conds) > 1 else conds[0]
+        out.emit(f"{lhs} = np.where({cond}, {val}, {lhs})")
+    else:
+        out.emit(f"{lhs} = {val}")
+
+
+def _emit_level_stmt(kernel, em, out, stmt, ext, k_src: str, irjr=None) -> None:
+    if irjr is None:
+        full, restricted = _ranges_for(kernel, stmt, ext)
+        predicate = (
+            kernel.schedule.regions_as_predication and stmt.region is not None
+        )
+        if stmt.region is not None and restricted is None:
+            return
+        irng, jrng = full if predicate else (restricted or full)
+    else:
+        irng, jrng = irjr
+        predicate = False
+        restricted = None
+
+    lhs = em.access_2d(stmt.target.name, (0, 0, 0), irng, jrng, k_src)
+    val = em.expr_2d(stmt.value, irng, jrng, k_src)
+    conds = []
+    if predicate:
+        (ri, rj) = restricted
+        conds.append(
+            f"((np.arange({irng[0]}, {irng[1]}).reshape(-1, 1) >= {ri[0]}) & "
+            f"(np.arange({irng[0]}, {irng[1]}).reshape(-1, 1) < {ri[1]}) & "
+            f"(np.arange({jrng[0]}, {jrng[1]}).reshape(1, -1) >= {rj[0]}) & "
+            f"(np.arange({jrng[0]}, {jrng[1]}).reshape(1, -1) < {rj[1]}))"
+        )
+    if stmt.mask is not None:
+        conds.append(em.expr_2d(stmt.mask, irng, jrng, k_src))
+    if conds:
+        cond = " & ".join(f"({c})" for c in conds) if len(conds) > 1 else conds[0]
+        out.emit(f"{lhs} = np.where({cond}, {val}, {lhs})")
+    else:
+        out.emit(f"{lhs} = {val}")
+
+
+class CompiledSDFG:
+    """A compiled whole-program SDFG.
+
+    Call with ``arrays`` (container name → NumPy array for every
+    non-transient container) and optional ``scalars``. Per-kernel wall-clock
+    times are collected when ``instrument=True`` (used by the Fig. 10
+    analysis).
+    """
+
+    def __init__(self, sdfg, instrument: bool = False):
+        self.sdfg = sdfg
+        self.instrument = instrument
+        self.kernel_labels: List[str] = []
+        self._callbacks: List = []
+        self.source = self._generate()
+        namespace = {
+            "np": np,
+            "__CB": self._callbacks,
+            "__perf_counter": time.perf_counter,
+        }
+        code = compile(self.source, f"<sdfg:{sdfg.name}>", "exec")
+        exec(code, namespace)  # noqa: S102 - generated from our own IR
+        self._program = namespace["__program"]
+        self._kernel_time = np.zeros(len(self.kernel_labels))
+        self._kernel_count = np.zeros(len(self.kernel_labels), dtype=np.int64)
+        self._transients: Dict[str, np.ndarray] = {
+            name: np.zeros(desc.shape, dtype=desc.dtype)
+            for name, desc in sdfg.arrays.items()
+            if desc.transient
+        }
+
+    # ------------------------------------------------------------------
+    def _generate(self) -> str:
+        sdfg = self.sdfg
+        out = _SourceBuilder()
+        out.emit("def __program(__A, __S, __KT, __KC):")
+        out.indent += 1
+        for name, desc in sdfg.arrays.items():
+            out.emit(f"{name} = __A[{name!r}]")
+        tasklet_outputs = {
+            node.output
+            for state in sdfg.states
+            for node in state.nodes
+            if isinstance(node, Tasklet)
+        }
+        scalar_names = sorted(self._collect_scalar_names() - tasklet_outputs)
+        for name in scalar_names:
+            out.emit(f"__s_{name} = __S[{name!r}]")
+        out.emit()
+
+        # control-flow structure: linear chain with counted loop regions
+        loop_starts = {lp.first: lp for lp in sdfg.loops}
+        loop_depth = []
+        for idx, state in enumerate(sdfg.states):
+            if idx in loop_starts:
+                lp = loop_starts[idx]
+                var = f"__it{len(loop_depth)}"
+                out.emit(f"for {var} in range({lp.count}):")
+                out.indent += 1
+                loop_depth.append(lp)
+            out.emit(f"# --- state {state.name} ---")
+            for node in state.nodes:
+                self._emit_node(node, out)
+            while loop_depth and loop_depth[-1].last == idx:
+                loop_depth.pop()
+                out.indent -= 1
+        out.emit("return None")
+        return out.source()
+
+    def _emit_node(self, node, out: _SourceBuilder) -> None:
+        if isinstance(node, Kernel):
+            kidx = len(self.kernel_labels)
+            self.kernel_labels.append(node.label)
+            out.emit(f"# kernel {node.label}")
+            if self.instrument:
+                out.emit("__t0 = __perf_counter()")
+            _kernel_source(node, self.sdfg, out)
+            if self.instrument:
+                out.emit(f"__KT[{kidx}] += __perf_counter() - __t0")
+                out.emit(f"__KC[{kidx}] += 1")
+        elif isinstance(node, Tasklet):
+            code = node.code
+            for name in node.inputs:
+                code = _replace_word(code, name, f"__s_{name}")
+            out.emit(f"__s_{node.output} = {code}")
+        elif isinstance(node, Callback):
+            cidx = len(self._callbacks)
+            self._callbacks.append(
+                lambda f=node.func, a=node.args, kw=node.kwargs: f(*a, **kw)
+            )
+            out.emit(f"__CB[{cidx}]()  # callback {node.label}")
+        elif isinstance(node, StencilComputation):
+            raise ValueError(
+                f"library node {node.label!r} must be expanded before "
+                "code generation (call sdfg.expand_library_nodes())"
+            )
+
+    def _collect_scalar_names(self):
+        names = set()
+        from repro.dsl.ir import walk_expr
+
+        for kernel in self.sdfg.all_kernels():
+            for stmt, _ in kernel.statements():
+                for e in walk_expr(stmt.value):
+                    if isinstance(e, ScalarRef):
+                        names.add(e.name)
+                if stmt.mask is not None:
+                    for e in walk_expr(stmt.mask):
+                        if isinstance(e, ScalarRef):
+                            names.add(e.name)
+        for state in self.sdfg.states:
+            for node in state.nodes:
+                if isinstance(node, Tasklet):
+                    names.update(node.inputs)
+        return names
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self,
+        arrays: Optional[Dict[str, np.ndarray]] = None,
+        scalars: Optional[Dict[str, float]] = None,
+    ) -> None:
+        merged = dict(self._transients)
+        if arrays:
+            merged.update(arrays)
+        missing = [n for n in self.sdfg.arrays if n not in merged]
+        if missing:
+            raise ValueError(f"missing arrays for containers: {missing}")
+        self._program(merged, scalars or {}, self._kernel_time, self._kernel_count)
+
+    @property
+    def kernel_times(self) -> Dict[str, Tuple[float, int]]:
+        """Per-kernel (total seconds, invocation count) when instrumented."""
+        out: Dict[str, Tuple[float, int]] = {}
+        for label, t, c in zip(
+            self.kernel_labels, self._kernel_time, self._kernel_count
+        ):
+            prev = out.get(label, (0.0, 0))
+            out[label] = (prev[0] + float(t), prev[1] + int(c))
+        return out
+
+    def reset_instrumentation(self) -> None:
+        self._kernel_time[:] = 0.0
+        self._kernel_count[:] = 0
+
+
+def _replace_word(code: str, name: str, repl: str) -> str:
+    import re
+
+    return re.sub(rf"\b{re.escape(name)}\b", repl, code)
+
+
+def compile_sdfg(sdfg, instrument: bool = False) -> CompiledSDFG:
+    """Expand (if needed) and compile an SDFG into a callable program."""
+    if any(state.library_nodes for state in sdfg.states):
+        sdfg.expand_library_nodes()
+    return CompiledSDFG(sdfg, instrument=instrument)

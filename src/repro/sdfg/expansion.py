@@ -1,0 +1,180 @@
+"""Library-node expansion: StencilComputation → map-scoped Kernels.
+
+Implements the paper's expansion with the default fusion strategy of
+Sec. VI-A1: consecutive intervals of forward/backward solvers are combined
+into a single kernel ("which allows to avoid flushing and re-initialization
+of cached values to and from global memory between loops"); horizontal
+computations likewise become one kernel per computation block.
+
+Stencil temporaries used by a single kernel become kernel-local arrays
+(registers/shared memory in the paper's mapping); temporaries crossing
+kernel boundaries become SDFG transient containers allocated outside the
+critical path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.dsl.extents import Extent
+from repro.dsl.ir import (
+    Assign,
+    FieldAccess,
+    ScalarRef,
+    map_expr,
+)
+from repro.sdfg.nodes import (
+    NAIVE_HORIZONTAL_SCHEDULE,
+    NAIVE_VERTICAL_SCHEDULE,
+    Kernel,
+    KernelSchedule,
+    KernelSection,
+    StencilComputation,
+)
+
+
+def _rename_expr(expr, field_map: Dict[str, str], scalar_map: Dict[str, str]):
+    def repl(node):
+        if isinstance(node, FieldAccess) and node.name in field_map:
+            return FieldAccess(field_map[node.name], node.offset)
+        if isinstance(node, ScalarRef) and node.name in scalar_map:
+            return ScalarRef(scalar_map[node.name])
+        return node
+
+    return map_expr(expr, repl)
+
+
+def _rename_stmt(stmt: Assign, field_map, scalar_map) -> Assign:
+    return Assign(
+        target=FieldAccess(
+            field_map.get(stmt.target.name, stmt.target.name), stmt.target.offset
+        ),
+        value=_rename_expr(stmt.value, field_map, scalar_map),
+        mask=(
+            _rename_expr(stmt.mask, field_map, scalar_map)
+            if stmt.mask is not None
+            else None
+        ),
+        region=stmt.region,
+    )
+
+
+def expand_node(node: StencilComputation, sdfg) -> List[Kernel]:
+    """Expand one library node into kernels, registering transients."""
+    sd = node.stencil_def
+    extents = node.extents
+    ni, nj, nk = node.domain
+
+    # map flattened statement ids to extents
+    stmt_extent = {
+        id(s): e for s, e in zip(sd.statements(), extents.stmt_extents)
+    }
+
+    # which (computation, section) pairs touch each temporary?
+    from repro.dsl.ir import expr_reads
+
+    temp_users: Dict[str, set] = {t: set() for t in sd.temporaries}
+    for ci, comp in enumerate(sd.computations):
+        for si, block in enumerate(comp.intervals):
+            for stmt in block.body:
+                if stmt.target.name in temp_users:
+                    temp_users[stmt.target.name].add((ci, si))
+                for acc in expr_reads(stmt):
+                    if acc.name in temp_users:
+                        temp_users[acc.name].add((ci, si))
+
+    fuse = node.schedule.fuse_intervals
+    field_map = dict(node.mapping)
+    local_by_comp: Dict[int, Dict[str, Extent]] = {}
+    transient_origins: Dict[str, Tuple[int, int, int]] = {}
+    for temp, users in temp_users.items():
+        ext = extents.field_extents.get(temp, Extent.zero())
+        comps_used = {ci for ci, _ in users}
+        # local iff confined to the kernel it will land in
+        is_local = len(comps_used) <= 1 and (fuse or len(users) <= 1)
+        if is_local:
+            ci = next(iter(comps_used)) if comps_used else 0
+            local_by_comp.setdefault(ci, {})[temp] = ext
+            field_map.setdefault(temp, temp)  # keep name inside the kernel
+        else:
+            shape = (
+                ni - ext.i_lo + ext.i_hi,
+                nj - ext.j_lo + ext.j_hi,
+                nk - ext.k_lo + ext.k_hi,
+            )
+            cname = sdfg.add_transient(
+                f"__tmp_{sd.name}_{temp}", shape, sd.temporaries[temp].dtype
+            )
+            field_map[temp] = cname
+            transient_origins[cname] = (-ext.i_lo, -ext.j_lo, -ext.k_lo)
+
+    kernels: List[Kernel] = []
+    for ci, comp in enumerate(sd.computations):
+        order = comp.order
+        default_sched = KernelSchedule(
+            iteration_order=(
+                NAIVE_VERTICAL_SCHEDULE
+                if order in ("FORWARD", "BACKWARD")
+                else NAIVE_HORIZONTAL_SCHEDULE
+            ),
+            loop_dims=("K",) if order in ("FORWARD", "BACKWARD") else (),
+            fuse_intervals=node.schedule.fuse_intervals,
+            regions_as_predication=node.schedule.regions_as_predication,
+            device=node.schedule.device,
+        )
+        locals_here = local_by_comp.get(ci, {})
+
+        def make_section(block) -> KernelSection:
+            stmts = [
+                (
+                    _rename_stmt(s, field_map, node.scalar_mapping),
+                    stmt_extent[id(s)],
+                )
+                for s in block.body
+            ]
+            return KernelSection(block.interval, stmts)
+
+        sections = [make_section(b) for b in comp.intervals]
+        origins = dict(transient_origins)
+        if default_sched.fuse_intervals or len(sections) == 1:
+            kernels.append(
+                Kernel(
+                    f"{sd.name}_c{ci}",
+                    order,
+                    sections,
+                    node.domain,
+                    node.origin,
+                    default_sched,
+                    dict(locals_here),
+                    node.bounds,
+                    origins,
+                )
+            )
+        else:
+            for si, section in enumerate(sections):
+                kernels.append(
+                    Kernel(
+                        f"{sd.name}_c{ci}_s{si}",
+                        order,
+                        [section],
+                        node.domain,
+                        node.origin,
+                        default_sched.copy(),
+                        dict(locals_here),
+                        node.bounds,
+                        dict(origins),
+                    )
+                )
+    return kernels
+
+
+def expand_sdfg(sdfg) -> None:
+    """Expand every library node in the SDFG in place."""
+    for state in sdfg.states:
+        new_nodes = []
+        for node in state.nodes:
+            if isinstance(node, StencilComputation):
+                new_nodes.extend(expand_node(node, sdfg))
+            else:
+                new_nodes.append(node)
+        state.nodes = new_nodes

@@ -1,0 +1,38 @@
+"""Memlets: explicit data-movement edges between graph nodes."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.sdfg.subsets import Range
+
+
+@dataclasses.dataclass(frozen=True)
+class Memlet:
+    """Data movement of an exact subset of one container.
+
+    Attributes:
+        data: container name in the parent SDFG.
+        subset: element range moved (``None`` means the full container).
+        is_write: True on edges into an access node.
+    """
+
+    data: str
+    subset: Optional[Range] = None
+    is_write: bool = False
+
+    def volume(self, sdfg) -> int:
+        """Number of elements moved (resolves full-container subsets)."""
+        if self.subset is not None:
+            return self.subset.volume()
+        return sdfg.arrays[self.data].volume
+
+    def nbytes(self, sdfg) -> int:
+        import numpy as np
+
+        return self.volume(sdfg) * np.dtype(sdfg.arrays[self.data].dtype).itemsize
+
+    def __repr__(self) -> str:
+        arrow = "->" if self.is_write else "<-"
+        return f"Memlet({self.data}{self.subset or '[*]'} {arrow})"

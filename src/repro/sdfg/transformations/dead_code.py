@@ -1,0 +1,69 @@
+"""Dead-kernel elimination: drop computations of never-read transients."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.sdfg.nodes import Kernel
+from repro.sdfg.transformations.base import (
+    Transformation,
+    container_users,
+    global_program_order,
+)
+
+
+class DeadKernelElimination(Transformation):
+    """Remove kernels all of whose outputs are transient and never read
+    after the kernel executes (region pruning's workhorse)."""
+
+    name = "dead_kernel_elimination"
+
+    def candidates(self, sdfg, state) -> List[int]:
+        order = {id(n): (si, ni) for si, ni, n in global_program_order(sdfg)}
+        state_index = sdfg.states.index(state)
+        in_loop = any(
+            lp.first <= state_index <= lp.last for lp in sdfg.loops
+        )
+        out = []
+        for i, node in enumerate(state.nodes):
+            if not isinstance(node, Kernel):
+                continue
+            written = node.written_fields()
+            if not written:
+                out.append(i)
+                continue
+            pos = order[id(node)]
+            dead = True
+            for name in written:
+                desc = sdfg.arrays.get(name)
+                if desc is None or not desc.transient:
+                    dead = False
+                    break
+                for upos, unode, kind in container_users(sdfg, name):
+                    if kind != "r" or unode is node:
+                        continue
+                    # inside a loop, an earlier reader still sees the value
+                    # on the next iteration — treat any reader as live
+                    if upos > pos or in_loop:
+                        dead = False
+                        break
+                if not dead:
+                    break
+            if dead:
+                out.append(i)
+        return out
+
+    def can_apply(self, sdfg, state, candidate) -> bool:
+        return candidate < len(state.nodes) and isinstance(
+            state.nodes[candidate], Kernel
+        )
+
+    def apply(self, sdfg, state, candidate) -> None:
+        node = state.nodes[candidate]
+        del state.nodes[candidate]
+        # drop transients that no longer have any users
+        for name in node.written_fields():
+            desc = sdfg.arrays.get(name)
+            if desc is not None and desc.transient:
+                if not container_users(sdfg, name):
+                    del sdfg.arrays[name]

@@ -1,0 +1,167 @@
+"""On-the-fly (OTF) map fusion: trade memory traffic for recomputation.
+
+"Fuses by replicating the computations of the first map for each input of
+the second map" (Sec. VI-B). A producer kernel that only writes one
+transient container is symbolically inlined into every (possibly offset)
+read of that container in the consumer; the producer kernel and the
+transient disappear, eliminating a full array write + read.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.dsl.ir import (
+    Assign,
+    Expr,
+    FieldAccess,
+    expr_reads,
+    map_expr,
+    shift_expr,
+    substitute_fields,
+)
+from repro.sdfg.nodes import Kernel, KernelSection
+from repro.sdfg.transformations.base import (
+    Transformation,
+    container_users,
+)
+
+
+class OTFMapFusion(Transformation):
+    name = "otf_map_fusion"
+
+    def candidates(self, sdfg, state) -> List[Tuple[int, int, str]]:
+        out = []
+        kernels = [
+            (i, n) for i, n in enumerate(state.nodes) if isinstance(n, Kernel)
+        ]
+        for x in range(len(kernels)):
+            i, a = kernels[x]
+            written = a.written_fields()
+            if len(written) != 1:
+                continue
+            t = written[0]
+            if t not in sdfg.arrays or not sdfg.arrays[t].transient:
+                continue
+            for y in range(x + 1, len(kernels)):
+                j, b = kernels[y]
+                if t in b.read_fields():
+                    out.append((i, j, t))
+        return out
+
+    def can_apply(self, sdfg, state, candidate) -> bool:
+        i, j, t = candidate
+        if i >= len(state.nodes) or j >= len(state.nodes):
+            return False
+        a, b = state.nodes[i], state.nodes[j]
+        if not (isinstance(a, Kernel) and isinstance(b, Kernel)):
+            return False
+        if a.written_fields() != [t] or t not in b.read_fields():
+            return False
+        # producer must be a pure parallel map without masks/regions so the
+        # written value is a closed-form expression of its inputs
+        if a.order != "PARALLEL" or len(a.sections) != 1:
+            return False
+        defined = set()
+        for stmt, _ in a.statements():
+            if stmt.mask is not None or stmt.region is not None:
+                return False
+            if stmt.target.name != t and stmt.target.name not in a.local_arrays:
+                return False
+            # every read of t (or a local) must see an already-defined value
+            for acc in expr_reads(stmt):
+                if acc.name == t or acc.name in a.local_arrays:
+                    if acc.name not in defined:
+                        return False
+            defined.add(stmt.target.name)
+        # Substituting with access-offset shifts is exact iff every producer
+        # input keeps the same origin *relative to t* in both kernels:
+        #   org_b(in) - org_b(t) == org_a(in) - org_a(t)
+        # (inputs the consumer does not yet touch get their origin assigned
+        # on apply).
+        org_at, org_bt = a.origin_of(t), b.origin_of(t)
+        b_touched = set(b.read_fields()) | set(b.written_fields())
+        for name in set(a.read_fields()) & b_touched:
+            org_ain, org_bin = a.origin_of(name), b.origin_of(name)
+            if any(
+                (org_bin[d] - org_bt[d]) != (org_ain[d] - org_at[d])
+                for d in range(3)
+            ):
+                return False
+        # t must be produced and consumed by exactly these two nodes
+        users = container_users(sdfg, t)
+        involved_nodes = {id(u[1]) for u in users}
+        if involved_nodes != {id(a), id(b)}:
+            return False
+        # producer must cover every level/extent the consumer reads
+        reads, _ = b.access_subsets(lambda n: sdfg.arrays[n].axes)
+        _, writes = a.access_subsets(lambda n: sdfg.arrays[n].axes)
+        if t not in writes or not writes[t].covers(reads[t]):
+            return False
+        # no conflicting kernel in between may redefine a's inputs
+        a_inputs = set(a.read_fields())
+        for m in range(i + 1, j):
+            node = state.nodes[m]
+            _, w = state.node_reads_writes(node)
+            if set(w) & a_inputs:
+                return False
+        return True
+
+    def apply(self, sdfg, state, candidate) -> None:
+        i, j, t = candidate
+        a: Kernel = state.nodes[i]
+        b: Kernel = state.nodes[j]
+        expr = self._producer_expression(a, t)
+        # producer locals referenced in expr must become consumer locals
+        needed_locals = {
+            acc.name
+            for acc in _field_accesses(expr)
+            if acc.name in a.local_arrays
+        }
+        assert not needed_locals, "producer locals must be fully substituted"
+        # producer inputs the consumer did not previously touch inherit an
+        # origin that preserves the compute-index ↔ array-index mapping
+        org_at, org_bt = a.origin_of(t), b.origin_of(t)
+        b_touched = set(b.read_fields()) | set(b.written_fields())
+        for name in a.read_fields():
+            if name != t and name not in b_touched:
+                b.origins[name] = tuple(
+                    org_bt[d] + a.origin_of(name)[d] - org_at[d]
+                    for d in range(3)
+                )
+
+        def rewrite(e: Expr) -> Expr:
+            return substitute_fields(e, {t: expr})
+
+        for section in b.sections:
+            section.statements = [
+                (
+                    Assign(
+                        target=s.target,
+                        value=rewrite(s.value),
+                        mask=rewrite(s.mask) if s.mask is not None else None,
+                        region=s.region,
+                    ),
+                    ext,
+                )
+                for s, ext in section.statements
+            ]
+        b.constituents = a.constituents + b.constituents
+        del state.nodes[i]
+        del sdfg.arrays[t]
+        b.origins.pop(t, None)
+
+    @staticmethod
+    def _producer_expression(a: Kernel, t: str) -> Expr:
+        """Compose the producer's statements into one expression for t."""
+        env = {}
+        for stmt, _ in a.statements():
+            value = substitute_fields(stmt.value, env)
+            env[stmt.target.name] = value
+        return env[t]
+
+
+def _field_accesses(expr: Expr):
+    from repro.dsl.ir import walk_expr
+
+    return [n for n in walk_expr(expr) if isinstance(n, FieldAccess)]

@@ -1,0 +1,87 @@
+"""Power-operator strength reduction (the Smagorinsky case study).
+
+The generated general-purpose ``pow(x, 2.0)`` / ``pow(x, 0.5)`` calls are
+"highly inefficient" (Sec. VI-C1); this transformation "converts powers of
+positive and negative integers, as well as 0.5, into multiplication loops
+and sqrt respectively". The paper reports the Smagorinsky-diffusion kernel
+dropping from 511.16 µs to 129.02 µs (99.68% modeled utilization after).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.dsl.ir import Assign, BinOp, Call, Expr, Literal, map_expr, walk_expr
+from repro.sdfg.nodes import Kernel
+from repro.sdfg.transformations.base import Transformation
+
+_MAX_UNROLL = 4
+
+
+def _reducible(expr: Expr) -> bool:
+    if not (isinstance(expr, BinOp) and expr.op == "**"):
+        return False
+    if not isinstance(expr.right, Literal):
+        return False
+    p = expr.right.value
+    if p == 0.5:
+        return True
+    return float(p).is_integer() and 0 < abs(int(p)) <= _MAX_UNROLL
+
+
+def reduce_powers(expr: Expr) -> Expr:
+    """Rewrite reducible power operations in one expression tree."""
+
+    def repl(node: Expr) -> Expr:
+        if not _reducible(node):
+            return node
+        base, p = node.left, node.right.value
+        if p == 0.5:
+            return Call("sqrt", (base,))
+        n = int(p)
+        out = base
+        for _ in range(abs(n) - 1):
+            out = BinOp("*", out, base)
+        if n < 0:
+            out = BinOp("/", Literal(1.0), out)
+        return out
+
+    return map_expr(expr, repl)
+
+
+def count_reducible_powers(expr: Expr) -> int:
+    return sum(1 for n in walk_expr(expr) if _reducible(n))
+
+
+class PowerExpansion(Transformation):
+    name = "power_expansion"
+
+    def candidates(self, sdfg, state) -> List[int]:
+        out = []
+        for i, node in enumerate(state.nodes):
+            if not isinstance(node, Kernel):
+                continue
+            total = sum(
+                count_reducible_powers(s.value)
+                + (count_reducible_powers(s.mask) if s.mask is not None else 0)
+                for s, _ in node.statements()
+            )
+            if total:
+                out.append(i)
+        return out
+
+    def apply(self, sdfg, state, candidate) -> None:
+        node: Kernel = state.nodes[candidate]
+        for section in node.sections:
+            section.statements = [
+                (
+                    Assign(
+                        target=s.target,
+                        value=reduce_powers(s.value),
+                        mask=reduce_powers(s.mask) if s.mask is not None else None,
+                        region=s.region,
+                    ),
+                    ext,
+                )
+                for s, ext in section.statements
+            ]

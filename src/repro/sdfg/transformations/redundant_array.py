@@ -1,0 +1,119 @@
+"""Redundant-array removal: elide pure copies into transients.
+
+Removing "redundant memory allocation" is one of the canonical data-centric
+transformations (Sec. III-B). A kernel that only copies container A into
+transient B (zero offset, unmasked) is deleted and B's readers are
+redirected to A, provided A is not redefined while B is still live.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.dsl.ir import Assign, FieldAccess, map_expr
+from repro.sdfg.nodes import Kernel
+from repro.sdfg.transformations.base import (
+    Transformation,
+    container_users,
+    global_program_order,
+)
+
+
+class RedundantArrayRemoval(Transformation):
+    name = "redundant_array"
+
+    def candidates(self, sdfg, state) -> List[Tuple[int, str, str]]:
+        out = []
+        for i, node in enumerate(state.nodes):
+            if not isinstance(node, Kernel):
+                continue
+            stmts = node.statements()
+            if len(stmts) != 1:
+                continue
+            stmt, _ = stmts[0]
+            if stmt.mask is not None or stmt.region is not None:
+                continue
+            if not isinstance(stmt.value, FieldAccess):
+                continue
+            src, dst = stmt.value, stmt.target
+            if src.offset != (0, 0, 0) or dst.offset != (0, 0, 0):
+                continue
+            if dst.name not in sdfg.arrays or not sdfg.arrays[dst.name].transient:
+                continue
+            if node.origin_of(src.name) != node.origin_of(dst.name):
+                continue
+            out.append((i, src.name, dst.name))
+        return out
+
+    def can_apply(self, sdfg, state, candidate) -> bool:
+        i, src, dst = candidate
+        if i >= len(state.nodes) or not isinstance(state.nodes[i], Kernel):
+            return False
+        copy_node = state.nodes[i]
+        # dst written only by the copy
+        writers = [u for u in container_users(sdfg, dst) if u[2] == "w"]
+        if len(writers) != 1 or writers[0][1] is not copy_node:
+            return False
+        # the copy must cover all reads of dst
+        _, writes = copy_node.access_subsets(lambda n: sdfg.arrays[n].axes)
+        readers = [u for u in container_users(sdfg, dst) if u[2] == "r"]
+        order = {id(n): (si, ni) for si, ni, n in global_program_order(sdfg)}
+        copy_pos = order[id(copy_node)]
+        for _, rnode, _ in readers:
+            if isinstance(rnode, Kernel):
+                reads, _ = rnode.access_subsets(lambda n: sdfg.arrays[n].axes)
+                if dst in reads and not writes[dst].covers(reads[dst]):
+                    return False
+                # readers must use the same origin mapping for src as the copy
+                if rnode.origin_of(dst) != copy_node.origin_of(dst):
+                    return False
+            else:
+                return False  # callbacks/tasklets: be conservative
+        # src must not be redefined after the copy while dst is still read
+        last_read = max(
+            (order[id(rn)] for _, rn, _ in readers), default=copy_pos
+        )
+        for pos, wnode, kind in container_users(sdfg, src):
+            if kind == "w" and copy_pos < pos <= last_read:
+                return False
+        # redirected readers must be able to see src at the copy's origin
+        src_origin = copy_node.origin_of(src)
+        for _, rnode, _ in readers:
+            if src in rnode.origins and rnode.origins[src] != src_origin:
+                return False
+        return True
+
+    def apply(self, sdfg, state, candidate) -> None:
+        i, src, dst = candidate
+        copy_node: Kernel = state.nodes[i]
+        src_origin = copy_node.origin_of(src)
+
+        def repl(node):
+            if isinstance(node, FieldAccess) and node.name == dst:
+                return FieldAccess(src, node.offset)
+            return node
+
+        for st in sdfg.states:
+            for node in st.nodes:
+                if not isinstance(node, Kernel) or node is copy_node:
+                    continue
+                if dst not in node.read_fields():
+                    continue
+                changed = False
+                for section in node.sections:
+                    new_stmts = []
+                    for s, ext in section.statements:
+                        ns = Assign(
+                            target=s.target,
+                            value=map_expr(s.value, repl),
+                            mask=map_expr(s.mask, repl) if s.mask is not None else None,
+                            region=s.region,
+                        )
+                        changed = changed or ns is not s
+                        new_stmts.append((ns, ext))
+                    section.statements = new_stmts
+                if dst in node.origins:
+                    del node.origins[dst]
+                node.origins.setdefault(src, src_origin)
+        state.nodes.remove(copy_node)
+        del sdfg.arrays[dst]

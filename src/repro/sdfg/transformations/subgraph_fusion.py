@@ -1,0 +1,124 @@
+"""Subgraph fusion (SGF): merge kernels with a common iteration space.
+
+"Subgraph fusion ... can fuse arbitrary subgraphs into a single kernel by
+extracting common iteration spaces" (Sec. VI-B). Two kernels with the same
+iteration policy, domain and container origins are merged into one launch.
+Thread-level legality (Sec. VI-A1) requires that the consumer not read the
+producer's outputs at a nonzero horizontal offset — such dependencies need
+an inter-thread barrier on a GPU and are handled by OTF fusion instead.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.dsl.ir import FieldAccess, expr_reads, map_expr
+from repro.sdfg.nodes import Kernel, KernelSection
+from repro.sdfg.transformations.base import (
+    Transformation,
+    can_become_adjacent,
+    fresh_local_names,
+)
+
+
+def _reads_written_at_offset(a: Kernel, b: Kernel) -> bool:
+    """Does b read any field written by a at a nonzero horizontal offset?"""
+    written = set(a.written_fields())
+    for stmt, _ in b.statements():
+        for acc in expr_reads(stmt):
+            if acc.name in written and (acc.offset[0] != 0 or acc.offset[1] != 0):
+                return True
+    return False
+
+
+class SubgraphFusion(Transformation):
+    name = "subgraph_fusion"
+
+    def __init__(self, same_order_only: bool = True):
+        self.same_order_only = same_order_only
+
+    def candidates(self, sdfg, state) -> List[Tuple[int, int]]:
+        kernels = [
+            (i, n) for i, n in enumerate(state.nodes) if isinstance(n, Kernel)
+        ]
+        out = []
+        for x in range(len(kernels)):
+            for y in range(x + 1, len(kernels)):
+                i, a = kernels[x]
+                j, b = kernels[y]
+                if self._compatible(a, b):
+                    out.append((i, j))
+        return out
+
+    def _compatible(self, a: Kernel, b: Kernel) -> bool:
+        if a.order != b.order:
+            return False
+        if a.domain != b.domain or a.origin != b.origin:
+            return False
+        if a.bounds.origin != b.bounds.origin or (
+            a.bounds.tile_shape != b.bounds.tile_shape
+        ):
+            return False
+        if a.schedule.device != b.schedule.device:
+            return False
+        # shared containers must agree on origins
+        for name, org in b.origins.items():
+            if name in a.origins and a.origins[name] != org:
+                return False
+        return True
+
+    def can_apply(self, sdfg, state, candidate) -> bool:
+        i, j = candidate
+        if i >= len(state.nodes) or j >= len(state.nodes):
+            return False
+        a, b = state.nodes[i], state.nodes[j]
+        if not (isinstance(a, Kernel) and isinstance(b, Kernel)):
+            return False
+        if not self._compatible(a, b):
+            return False
+        if not can_become_adjacent(state, i, j):
+            return False
+        return not _reads_written_at_offset(a, b)
+
+    def apply(self, sdfg, state, candidate) -> None:
+        i, j = candidate
+        a: Kernel = state.nodes[i]
+        b: Kernel = state.nodes[j]
+        rename = fresh_local_names(a, b)
+        if rename:
+            _rename_kernel_fields(b, rename)
+            b.local_arrays = {rename.get(n, n): e for n, e in b.local_arrays.items()}
+        a.sections = a.sections + [
+            KernelSection(s.interval, list(s.statements)) for s in b.sections
+        ]
+        a.local_arrays.update(b.local_arrays)
+        for name, org in b.origins.items():
+            a.origins.setdefault(name, org)
+        a.constituents = a.constituents + b.constituents
+        a.label = f"{a.label}+{b.label}"
+        del state.nodes[j]
+
+
+def _rename_kernel_fields(kernel: Kernel, rename) -> None:
+    def repl(node):
+        if isinstance(node, FieldAccess) and node.name in rename:
+            return FieldAccess(rename[node.name], node.offset)
+        return node
+
+    from repro.dsl.ir import Assign
+
+    for section in kernel.sections:
+        section.statements = [
+            (
+                Assign(
+                    target=FieldAccess(
+                        rename.get(s.target.name, s.target.name), s.target.offset
+                    ),
+                    value=map_expr(s.value, repl),
+                    mask=map_expr(s.mask, repl) if s.mask is not None else None,
+                    region=s.region,
+                ),
+                ext,
+            )
+            for s, ext in section.statements
+        ]

@@ -1,0 +1,86 @@
+"""SDFG structural validation."""
+
+from __future__ import annotations
+
+from repro.sdfg.nodes import Callback, Kernel, StencilComputation, Tasklet
+
+
+class SDFGValidationError(ValueError):
+    pass
+
+
+def validate_sdfg(sdfg) -> None:
+    """Check structural invariants; raises SDFGValidationError."""
+    names = set(sdfg.arrays)
+    for lp in sdfg.loops:
+        if not (0 <= lp.first <= lp.last < len(sdfg.states)):
+            raise SDFGValidationError(
+                f"loop region [{lp.first}, {lp.last}] out of state range"
+            )
+        if lp.count < 0:
+            raise SDFGValidationError(f"negative loop count {lp.count}")
+    for a, b in _pairs(sdfg.loops):
+        if not _nested_or_disjoint(a, b):
+            raise SDFGValidationError(
+                f"loop regions [{a.first},{a.last}] and [{b.first},{b.last}] "
+                "overlap without nesting"
+            )
+    for state in sdfg.states:
+        for node in state.nodes:
+            if isinstance(node, Kernel):
+                _validate_kernel(sdfg, state, node, names)
+            elif isinstance(node, StencilComputation):
+                for cname in node.mapping.values():
+                    if cname not in names:
+                        raise SDFGValidationError(
+                            f"{node.label}: unknown container {cname!r}"
+                        )
+            elif isinstance(node, (Tasklet, Callback)):
+                pass
+            else:
+                raise SDFGValidationError(f"unknown node type {type(node)}")
+
+
+def _validate_kernel(sdfg, state, node: Kernel, names) -> None:
+    for cname in node.read_fields() + node.written_fields():
+        if cname not in names:
+            raise SDFGValidationError(
+                f"{node.label}: access of unknown container {cname!r}"
+            )
+    reads, writes = node.access_subsets(lambda n: sdfg.arrays[n].axes)
+    for kind, accesses in (("read", reads), ("write", writes)):
+        for cname, rng in accesses.items():
+            if cname not in names:
+                raise SDFGValidationError(
+                    f"{node.label}: {kind} of unknown container {cname!r}"
+                )
+            shape = sdfg.arrays[cname].shape
+            if rng.ndim != len(shape):
+                raise SDFGValidationError(
+                    f"{node.label}: rank mismatch on {cname!r}"
+                )
+            for (lo, hi), size in zip(rng.dims, shape):
+                if lo < 0 or hi > size:
+                    raise SDFGValidationError(
+                        f"{node.label}: {kind} range {rng} exceeds container "
+                        f"{cname!r} shape {shape}"
+                    )
+    if not node.schedule.is_valid_for(node.order):
+        raise SDFGValidationError(
+            f"{node.label}: schedule {node.schedule.iteration_order} invalid "
+            f"for {node.order} iteration"
+        )
+
+
+def _pairs(items):
+    for i in range(len(items)):
+        for j in range(i + 1, len(items)):
+            yield items[i], items[j]
+
+
+def _nested_or_disjoint(a, b) -> bool:
+    if a.last < b.first or b.last < a.first:
+        return True  # disjoint
+    return (a.first <= b.first and b.last <= a.last) or (
+        b.first <= a.first and a.last <= b.last
+    )

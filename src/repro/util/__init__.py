@@ -1,0 +1,6 @@
+"""Utilities: lines-of-code accounting (Table I) and timing helpers."""
+
+from repro.util.loc import count_loc, loc_table
+from repro.util.timing import median_time
+
+__all__ = ["count_loc", "loc_table", "median_time"]

@@ -1,0 +1,141 @@
+"""Lines-of-code accounting (Table I).
+
+The paper measures "code complexity using lines of code as a proxy",
+comparing the declarative Python port against the FORTRAN reference
+(12,450 vs 29,458 for the dynamical core — 0.42×). Here the comparator is
+the plain-NumPy reference style of :mod:`repro.fv3.reference` (loop/slice
+code like the original), against the declarative DSL modules.
+
+Counting rule (as in the paper's convention): non-blank, non-comment
+source lines; docstrings excluded (they are documentation, not code).
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple
+
+
+def count_loc(path) -> int:
+    """Non-blank, non-comment, non-docstring source lines of one file."""
+    source = Path(path).read_text()
+    code_lines = set()
+    doc_lines = set()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except tokenize.TokenError:
+        tokens = []
+    prev_significant = None
+    for tok in tokens:
+        if tok.type in (
+            tokenize.COMMENT,
+            tokenize.NL,
+            tokenize.NEWLINE,
+            tokenize.INDENT,
+            tokenize.DEDENT,
+            tokenize.ENCODING,
+            tokenize.ENDMARKER,
+        ):
+            continue
+        if tok.type == tokenize.STRING and (
+            prev_significant is None
+            or prev_significant in (tokenize.NEWLINE, tokenize.INDENT)
+        ):
+            # a docstring / bare string statement
+            for line in range(tok.start[0], tok.end[0] + 1):
+                doc_lines.add(line)
+            prev_significant = tok.type
+            continue
+        for line in range(tok.start[0], tok.end[0] + 1):
+            code_lines.add(line)
+        prev_significant = tok.type
+    return len(code_lines - doc_lines)
+
+
+def count_loc_files(paths: Iterable) -> int:
+    return sum(count_loc(p) for p in paths)
+
+
+def package_root() -> Path:
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def function_loc(path, function_names: List[str]) -> int:
+    """Code LoC of named top-level functions/classes in one file."""
+    import ast
+
+    source = Path(path).read_text()
+    tree = ast.parse(source)
+    per_file = count_loc(path)
+    all_lines = len(source.splitlines()) or 1
+    total_span = 0
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.ClassDef)) and (
+            node.name in function_names
+        ):
+            total_span += node.end_lineno - node.lineno + 1
+    # scale raw spans by the file's code density so docstrings/blank
+    # lines inside functions do not inflate the count
+    return round(total_span * per_file / all_lines)
+
+
+def loc_table() -> List[Tuple[str, int, int, float]]:
+    """Table I analogue: per-algorithm LoC, declarative DSL vs the plain
+    loop/slice reference (our stand-in for the FORTRAN model).
+
+    Only algorithms implemented in *both* styles are compared — an honest
+    like-for-like measurement rather than the paper's whole-model count.
+    A "Dynamical Core (all DSL modules)" context row reports the total
+    declarative code size with no comparator.
+    """
+    root = package_root()
+    fv3 = root / "fv3"
+    ref = fv3 / "reference.py"
+    stencils = fv3 / "stencils"
+
+    rows: List[Tuple[str, int, int, float]] = []
+
+    def add(name: str, decl: int, ref_loc: int):
+        ratio = decl / ref_loc if ref_loc else float("nan")
+        rows.append((name, decl, ref_loc, ratio))
+
+    add(
+        "PPM transport flux (x)",
+        function_loc(stencils / "xppm.py", ["xppm_flux"]),
+        function_loc(ref, ["ppm_flux_x"]),
+    )
+    add(
+        "Tridiagonal vertical solve",
+        function_loc(stencils / "riem_solver_c.py", ["tridiagonal_solve"]),
+        function_loc(ref, ["thomas_tridiagonal"]),
+    )
+    add(
+        "Del-2 damping",
+        function_loc(
+            stencils / "delnflux.py",
+            ["del2_flux_x", "del2_flux_y", "add_flux_divergence"],
+        ),
+        function_loc(ref, ["del2_diffusion_step"]),
+    )
+    add(
+        "Vertical remap layer",
+        function_loc(stencils / "remapping.py", ["remap_layer"]),
+        function_loc(ref, ["conservative_remap_1d"]),
+    )
+    dycore_decl = count_loc_files(
+        sorted(stencils.glob("*.py"))
+        + [fv3 / "acoustics.py", fv3 / "dyncore.py", fv3 / "corners.py"]
+    )
+    add("Dynamical Core (all DSL modules)", dycore_decl, 0)
+    return rows
+
+
+def format_loc_table(rows) -> str:
+    lines = [f"{'Module Name':<34} {'Python LoC':>12} {'Reference LoC':>14} {'ratio':>7}"]
+    for name, decl, ref, ratio in rows:
+        lines.append(f"{name:<34} {decl:>12} {ref:>14} {ratio:>6.2f}x")
+    return "\n".join(lines)

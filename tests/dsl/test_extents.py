@@ -1,0 +1,97 @@
+"""Extent/halo inference tests."""
+
+from repro.dsl import Field, PARALLEL, computation, interval
+from repro.dsl.extents import Extent, compute_extents
+from repro.dsl.frontend import parse_stencil
+
+
+def test_extent_union_and_shift():
+    a = Extent(-1, 2, 0, 0)
+    b = Extent(0, 0, -3, 1)
+    u = a.union(b)
+    assert (u.i_lo, u.i_hi, u.j_lo, u.j_hi) == (-1, 2, -3, 1)
+    s = a.shifted((2, -1, 0)).normalized()
+    assert (s.i_lo, s.i_hi) == (0, 4)
+    assert (s.j_lo, s.j_hi) == (-1, 0)
+
+
+def test_halo_width():
+    assert Extent(-2, 1, -1, 3).halo_width == 3
+    assert Extent().halo_width == 0
+
+
+def test_direct_read_extent():
+    def lap(a: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            out = a[-1, 0, 0] + a[1, 0, 0] + a[0, -1, 0] + a[0, 1, 0]
+
+    ext = compute_extents(parse_stencil(lap))
+    fa = ext.field_extents["a"]
+    assert (fa.i_lo, fa.i_hi, fa.j_lo, fa.j_hi) == (-1, 1, -1, 1)
+    assert ext.max_halo() == 1
+
+
+def test_transitive_extent_through_temporary():
+    def lap2(a: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            t = a[-1, 0, 0] + a[1, 0, 0] - 2.0 * a
+            out = t[-1, 0, 0] + t[1, 0, 0] - 2.0 * t
+
+    sd = parse_stencil(lap2)
+    ext = compute_extents(sd)
+    # t must be computed one point beyond the domain in i
+    t_ext = ext.field_extents["t"]
+    assert (t_ext.i_lo, t_ext.i_hi) == (-1, 1)
+    # a is read at ±1 from points that are themselves ±1 out: halo 2
+    fa = ext.field_extents["a"]
+    assert (fa.i_lo, fa.i_hi) == (-2, 2)
+    assert ext.max_halo() == 2
+    # the producing statement carries the extended extent
+    s_ext = ext.stmt_extents[0]
+    assert (s_ext.i_lo, s_ext.i_hi) == (-1, 1)
+
+
+def test_three_level_chain():
+    def chain(a: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            t1 = a[1, 0, 0]
+            t2 = t1[1, 0, 0]
+            out = t2[1, 0, 0]
+
+    ext = compute_extents(parse_stencil(chain))
+    assert ext.field_extents["a"].i_hi == 3
+    assert ext.stmt_extents[0].i_hi == 2
+    assert ext.stmt_extents[1].i_hi == 1
+    assert ext.stmt_extents[2].i_hi == 0
+
+
+def test_k_offsets_tracked_for_allocation():
+    def vert(a: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            t = a
+            out = t[0, 0, -1] + t[0, 0, 1]
+
+    ext = compute_extents(parse_stencil(vert))
+    t_ext = ext.field_extents["t"]
+    assert (t_ext.k_lo, t_ext.k_hi) == (-1, 1)
+
+
+def test_output_only_fields_have_zero_extent():
+    def copy(a: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            out = a
+
+    ext = compute_extents(parse_stencil(copy))
+    assert ext.field_extents["out"] == Extent.zero()
+
+
+def test_masked_statement_reads_own_target():
+    def masked(a: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            out = a
+            if a > 0.0:
+                out = out[1, 0, 0]
+
+    ext = compute_extents(parse_stencil(masked))
+    # the first write of `out` must cover the +1 read of the second
+    assert ext.stmt_extents[0].i_hi == 1

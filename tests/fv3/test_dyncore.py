@@ -1,0 +1,171 @@
+"""Dynamical-core integration tests: conservation, stability,
+decomposition invariance, transport accuracy."""
+
+import numpy as np
+import pytest
+
+from repro.fv3.config import DynamicalCoreConfig
+from repro.fv3.dyncore import DynamicalCore
+
+
+@pytest.fixture(scope="module")
+def small_core():
+    cfg = DynamicalCoreConfig(
+        npx=12, npz=6, layout=1, dt_atmos=120.0, k_split=1, n_split=2,
+        n_tracers=2,
+    )
+    return DynamicalCore(cfg)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DynamicalCoreConfig(npx=10, layout=3)
+    with pytest.raises(ValueError):
+        DynamicalCoreConfig(npx=12, npz=2)
+    cfg = DynamicalCoreConfig(npx=48, npz=16, layout=2, dt_atmos=300.0,
+                              k_split=2, n_split=5)
+    assert cfg.total_ranks == 24
+    assert cfg.dt_acoustic == pytest.approx(30.0)
+    assert 100 < cfg.grid_spacing_km() < 250
+
+
+def test_initial_state_sane(small_core):
+    s = small_core.state_summary()
+    assert 30.0 < s["max_wind"] < 45.0
+    assert s["max_w"] == 0.0
+    # hydrostatic δz is negative
+    for state in small_core.states:
+        assert np.all(state.delz < 0)
+        assert np.all(state.delp > 0)
+        assert np.all(state.pt > 150.0)
+
+
+def test_mass_conservation_over_steps(small_core):
+    m0 = small_core.global_integral("delp")
+    t0 = small_core.tracer_integral(0)
+    for _ in range(3):
+        small_core.step_dynamics()
+    m1 = small_core.global_integral("delp")
+    t1 = small_core.tracer_integral(0)
+    assert abs(m1 - m0) / m0 < 1e-9
+    assert abs(t1 - t0) / t0 < 1e-6
+
+
+def test_stability_and_boundedness(small_core):
+    """After several steps everything stays finite and physical."""
+    for _ in range(2):
+        small_core.step_dynamics()
+    s = small_core.state_summary()
+    assert np.isfinite(s["max_wind"]) and s["max_wind"] < 100.0
+    assert s["max_w"] < 10.0
+    for state in small_core.states:
+        assert np.all(np.isfinite(state.pt))
+        assert np.all(state.delp > 0)
+        for tr in state.tracers:
+            interior = tr[3:-3, 3:-3]
+            assert interior.min() > -0.02  # near-monotone transport
+            assert interior.max() < 1.2
+
+
+def test_tracer_uniform_stays_uniform():
+    """Consistency of the mass-weighted tracer transport: a spatially
+    uniform tracer must remain exactly uniform."""
+    cfg = DynamicalCoreConfig(
+        npx=12, npz=4, layout=1, dt_atmos=120.0, k_split=1, n_split=2,
+        n_tracers=1,
+    )
+    core = DynamicalCore(cfg)
+    for s in core.states:
+        s.tracers[0][:] = 1.0
+    core.step_dynamics()
+    for s in core.states:
+        interior = s.tracers[0][3:-3, 3:-3]
+        np.testing.assert_allclose(interior, 1.0, rtol=5e-13)
+
+
+def test_decomposition_invariance_one_substep():
+    """layout=1 vs layout=2 give identical interiors after one acoustic
+    substep (halo exchange + corner fills are layout-independent)."""
+    results = {}
+    for layout in (1, 2):
+        cfg = DynamicalCoreConfig(
+            npx=12, npz=4, layout=layout, dt_atmos=60.0, k_split=1,
+            n_split=1, n_tracers=1,
+        )
+        core = DynamicalCore(cfg)
+        core.acoustics.run(cfg.dt_acoustic, 1)
+        # reassemble tile 0 interior
+        p = core.partitioner
+        h = core.h
+        tile = np.zeros((12, 12, 4))
+        for r in range(p.total_ranks):
+            if p.tile_of(r) != 0:
+                continue
+            ox, oy = p.subdomain_origin(r)
+            tile[ox : ox + p.nx, oy : oy + p.ny] = core.states[r].delp[
+                h:-h, h:-h
+            ]
+        results[layout] = tile
+    np.testing.assert_allclose(
+        results[1], results[2], rtol=1e-12, atol=1e-10
+    )
+
+
+def test_solid_body_tracer_advection():
+    """Williamson test 1: a blob advected by solid-body rotation keeps its
+    mass and (approximately) its shape."""
+    from repro.fv3 import constants
+    from repro.fv3.initial import (
+        RankFields,
+        gaussian_tracer,
+        reference_coordinate,
+        solid_body_rotation_winds,
+    )
+
+    cfg = DynamicalCoreConfig(
+        npx=16, npz=3, layout=1, dt_atmos=900.0, k_split=1, n_split=2,
+        n_tracers=1, d2_damp=0.0, smag_coeff=0.0,
+    )
+
+    def init(grid, config):
+        nk = config.npz
+        u, v = solid_body_rotation_winds(grid, nk, u0=30.0)
+        bk, ptop = reference_coordinate(config)
+        pe = ptop + bk[None, None, :] * (constants.P_REF - ptop)
+        delp = np.broadcast_to(np.diff(pe, axis=-1), grid.shape + (nk,)).copy()
+        p_mid = 0.5 * (pe[..., :-1] + pe[..., 1:])
+        pt = np.full(grid.shape + (nk,), 280.0)
+        delz = -constants.RDGAS * pt * delp / (constants.GRAV * p_mid)
+        blob = gaussian_tracer(grid, nk, lon0=0.0, lat0=0.0)
+        return RankFields(
+            u=u, v=v, w=np.zeros_like(pt), pt=pt, delp=delp, delz=delz,
+            tracers=[blob],
+        )
+
+    core = DynamicalCore(cfg, init=init)
+    t0 = core.tracer_integral(0)
+    peak0 = max(float(s.tracers[0][3:-3, 3:-3].max()) for s in core.states)
+    # advect only (freeze the dynamics' effect on winds by taking few steps)
+    for _ in range(4):
+        core.step_dynamics()
+    t1 = core.tracer_integral(0)
+    assert abs(t1 - t0) / t0 < 1e-4
+    peak1 = max(float(s.tracers[0][3:-3, 3:-3].max()) for s in core.states)
+    # diffusion-limited: the peak decays but survives
+    assert 0.4 * peak0 < peak1 <= peak0 * 1.001
+    for s in core.states:
+        assert s.tracers[0][3:-3, 3:-3].min() > -1e-2
+
+
+def test_message_volume_matches_partitioner_estimate(small_core):
+    comm = small_core.halo.comm
+    comm.reset_log()
+    small_core.halo.update_scalar([s.delp for s in small_core.states])
+    measured = comm.bytes_by_rank()[0]
+    est = sum(
+        small_core.partitioner.boundary_message_bytes(
+            n_halo=3, npz=small_core.config.npz, n_fields=1
+        )
+    )
+    # the estimate ignores corner columns: within 40%
+    assert est <= measured <= int(est * 1.4)

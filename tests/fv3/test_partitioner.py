@@ -1,0 +1,107 @@
+"""Cube topology and partitioner tests."""
+
+import numpy as np
+import pytest
+
+from repro.fv3 import constants
+from repro.fv3.partitioner import (
+    CONNECTIVITY,
+    EDGES,
+    FACES,
+    CubedSpherePartitioner,
+    _edge_endpoints,
+)
+
+
+def test_face_frames_right_handed():
+    for n, x, y in FACES:
+        assert np.array_equal(np.cross(x, y), np.array(n))
+
+
+def test_every_edge_has_neighbor():
+    assert len(CONNECTIVITY) == 6 * 4
+    for (tile, edge), conn in CONNECTIVITY.items():
+        assert conn.tile != tile
+        assert conn.edge in EDGES
+
+
+def test_connectivity_symmetric():
+    """If tile A's edge E touches tile B's edge E', then B's E' touches A."""
+    for (tile, edge), conn in CONNECTIVITY.items():
+        back = CONNECTIVITY[(conn.tile, conn.edge)]
+        assert back.tile == tile
+        assert back.edge == edge
+        assert back.reversed == conn.reversed
+        # rotations compose to identity
+        assert (back.rotations + conn.rotations) % 4 == 0
+
+
+def test_each_tile_touches_four_distinct_tiles():
+    for tile in range(constants.N_TILES):
+        neighbors = {CONNECTIVITY[(tile, e)].tile for e in EDGES}
+        assert len(neighbors) == 4
+        assert tile not in neighbors
+
+
+def test_edge_endpoints_shared():
+    for (tile, edge), conn in CONNECTIVITY.items():
+        mine = set(_edge_endpoints(tile, edge))
+        theirs = set(_edge_endpoints(conn.tile, conn.edge))
+        assert mine == theirs
+
+
+def test_rank_addressing_roundtrip():
+    p = CubedSpherePartitioner(npx=12, layout=2)
+    assert p.total_ranks == 24
+    for rank in range(p.total_ranks):
+        tile = p.tile_of(rank)
+        px, py = p.subtile_of(rank)
+        assert p.rank_at(tile, px, py) == rank
+
+
+def test_subdomain_origins_tile_cover():
+    p = CubedSpherePartitioner(npx=12, layout=2)
+    seen = set()
+    for rank in range(4):  # ranks of tile 0
+        ox, oy = p.subdomain_origin(rank)
+        for i in range(p.nx):
+            for j in range(p.ny):
+                seen.add((ox + i, oy + j))
+    assert seen == {(i, j) for i in range(12) for j in range(12)}
+
+
+def test_same_tile_neighbors_no_rotation():
+    p = CubedSpherePartitioner(npx=12, layout=2)
+    rank = p.rank_at(0, 0, 0)
+    east = p.edge_neighbor(rank, "E")
+    assert east.rank == p.rank_at(0, 1, 0)
+    assert east.rotations == 0 and not east.reversed
+
+
+def test_cross_tile_neighbor_consistency():
+    """Crossing an edge and crossing back lands on the original rank."""
+    for layout in (1, 2):
+        p = CubedSpherePartitioner(npx=12, layout=layout)
+        for rank in range(p.total_ranks):
+            for edge in EDGES:
+                n = p.edge_neighbor(rank, edge)
+                back = p.edge_neighbor(n.rank, n.neighbor_edge)
+                assert back.rank == rank, (
+                    f"rank {rank} edge {edge} -> {n.rank} does not return"
+                )
+
+
+def test_bounds_edge_ownership():
+    p = CubedSpherePartitioner(npx=12, layout=2)
+    b = p.bounds(p.rank_at(0, 0, 0))
+    assert b.origin == (0, 0)
+    assert b.tile_shape == (12, 12)
+    b2 = p.bounds(p.rank_at(0, 1, 1))
+    assert b2.origin == (6, 6)
+    assert p.on_tile_edge(p.rank_at(0, 0, 0), "W")
+    assert not p.on_tile_edge(p.rank_at(0, 1, 1), "W")
+
+
+def test_invalid_layout_rejected():
+    with pytest.raises(ValueError):
+        CubedSpherePartitioner(npx=10, layout=3)

@@ -1,0 +1,199 @@
+"""Validation of DSL stencil modules against plain-NumPy references
+(the paper's serialized-reference unit tests, Sec. IV-A)."""
+
+import numpy as np
+import pytest
+
+from repro.fv3 import reference
+from repro.fv3.stencils.d_sw import smagorinsky_diffusion
+from repro.fv3.stencils.delnflux import (
+    add_flux_divergence,
+    del2_flux_x,
+    del2_flux_y,
+)
+from repro.fv3.stencils.riem_solver_c import tridiagonal_solve
+from repro.fv3.stencils.xppm import xppm_flux
+from repro.fv3.stencils.yppm import yppm_flux
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).random(shape)
+
+
+def test_xppm_flux_matches_reference():
+    shape = (16, 5, 3)
+    q = _rand(shape)
+    cr = _rand(shape, 1) - 0.5
+    flux = np.zeros(shape)
+    xppm_flux(q, cr, flux, origin=(3, 0, 0), domain=(shape[0] - 5, 5, 3))
+    ref = reference.ppm_flux_x(q, cr)
+    np.testing.assert_allclose(flux[3:-2], ref[3:-2], rtol=1e-14)
+
+
+def test_yppm_flux_matches_reference():
+    shape = (5, 16, 3)
+    q = _rand(shape)
+    cr = _rand(shape, 2) - 0.5
+    flux = np.zeros(shape)
+    yppm_flux(q, cr, flux, origin=(0, 3, 0), domain=(5, shape[1] - 5, 3))
+    ref = reference.ppm_flux_y(q, cr)
+    np.testing.assert_allclose(flux[:, 3:-2], ref[:, 3:-2], rtol=1e-14)
+
+
+def test_xppm_yppm_are_transposes():
+    """The duplicated modules (Sec. IV-D) must be exact transposes."""
+    shape = (14, 14, 2)
+    q = _rand(shape, 3)
+    cr = _rand(shape, 4) - 0.5
+    fx = np.zeros(shape)
+    fy = np.zeros(shape)
+    xppm_flux(q, cr, fx, origin=(3, 0, 0), domain=(9, 14, 2))
+    yppm_flux(
+        q.swapaxes(0, 1).copy(), cr.swapaxes(0, 1).copy(), fy,
+        origin=(0, 3, 0), domain=(14, 9, 2),
+    )
+    np.testing.assert_array_equal(fx[3:-2], fy.swapaxes(0, 1)[3:-2])
+
+
+def test_xppm_constant_field_gives_constant_flux():
+    shape = (12, 4, 2)
+    q = np.full(shape, 7.5)
+    cr = _rand(shape, 5) - 0.5
+    flux = np.zeros(shape)
+    xppm_flux(q, cr, flux, origin=(3, 0, 0), domain=(7, 4, 2))
+    np.testing.assert_allclose(flux[3:-2], 7.5)
+
+
+def test_xppm_monotone_no_new_extrema():
+    """With the mono limiter, reconstructed interface values stay within
+    the neighboring cell means."""
+    shape = (20, 3, 1)
+    rng = np.random.default_rng(7)
+    q = np.cumsum(rng.standard_normal(shape), axis=0)  # rough field
+    cr = rng.uniform(-0.9, 0.9, shape)
+    flux = np.zeros(shape)
+    xppm_flux(q, cr, flux, origin=(3, 0, 0), domain=(14, 3, 1))
+    # the limited reconstruction never leaves the 5-cell stencil window
+    # (interfaces of the upwind cell involve q[i-3..i+1])
+    for i in range(3, 17):
+        window = q[i - 3 : i + 2]
+        lo, hi = window.min(axis=0), window.max(axis=0)
+        assert np.all(flux[i] >= lo - 1e-9) and np.all(flux[i] <= hi + 1e-9)
+
+
+def test_tridiagonal_solver_matches_scipy():
+    shape = (4, 4, 24)
+    rng = np.random.default_rng(11)
+    aa = rng.random(shape)
+    cc = rng.random(shape)
+    bb = 1.0 + aa + cc  # diagonally dominant (as in the Riemann solver)
+    aa[..., 0] = 0.0
+    cc[..., -1] = 0.0
+    dd = rng.standard_normal(shape)
+    w = np.zeros(shape)
+    gam = np.zeros(shape)
+    tridiagonal_solve(aa, bb, cc, dd, w, gam,
+                      origin=(0, 0, 0), domain=shape)
+    ref = reference.thomas_tridiagonal(aa, bb, cc, dd)
+    np.testing.assert_allclose(w, ref, rtol=1e-11, atol=1e-12)
+
+
+def test_smagorinsky_matches_reference():
+    shape = (6, 6, 4)
+    delpc = _rand(shape, 12) - 0.5
+    vort = _rand(shape, 13) - 0.5
+    smag = np.zeros(shape)
+    smagorinsky_diffusion(delpc, vort, smag, 0.25,
+                          origin=(0, 0, 0), domain=shape)
+    np.testing.assert_allclose(
+        smag, reference.smagorinsky(delpc, vort, 0.25), rtol=1e-14
+    )
+
+
+def test_del2_damping_matches_reference_and_smooths():
+    shape2 = (12, 12)
+    nk = 3
+    rng = np.random.default_rng(21)
+    q = rng.random(shape2 + (nk,))
+    dx = 1.0 + 0.1 * rng.random(shape2)
+    dy = 1.0 + 0.1 * rng.random(shape2)
+    rdx, rdy = 1.0 / dx, 1.0 / dy
+    rarea = 1.0 / (dx * dy)
+    damp = 0.1
+    fx2 = np.zeros_like(q)
+    fy2 = np.zeros_like(q)
+    got = q.copy()
+    del2_flux_x(got, dy, rdx, fx2, damp, origin=(1, 1, 0), domain=(10, 10, nk))
+    del2_flux_y(got, dx, rdy, fy2, damp, origin=(1, 1, 0), domain=(10, 10, nk))
+    add_flux_divergence(got, fx2, fy2, rarea,
+                        origin=(1, 1, 0), domain=(9, 9, nk))
+    ref = reference.del2_diffusion_step(q, dx, dy, rdx, rdy, rarea, damp)
+    np.testing.assert_allclose(got[1:-2, 1:-2], ref[1:-2, 1:-2], rtol=1e-13)
+    # damping reduces variance in the interior
+    assert np.var(got[2:-2, 2:-2]) < np.var(q[2:-2, 2:-2])
+
+
+def test_remap_conservation_against_reference():
+    """The ±1-layer DSL remap must equal the general reference remap when
+    displacements are small, and conserve ∫q dp exactly."""
+    from repro.fv3.stencils.remapping import (
+        interface_pressures,
+        remap_layer,
+        target_levels,
+    )
+
+    nk = 10
+    nx = ny = 4
+    rng = np.random.default_rng(31)
+    ptop = 100.0
+    # deformed thicknesses: reference + small noise
+    base = np.full(nk, 1000.0)
+    delp = np.broadcast_to(base, (nx, ny, nk)).copy()
+    delp *= 1.0 + 0.05 * rng.standard_normal((nx, ny, nk))
+    q = rng.random((nx, ny, nk))
+    bk = np.linspace(0.0, 1.0, nk + 1)
+
+    pe1 = np.zeros((nx, ny, nk + 1))
+    pe2 = np.zeros((nx, ny, nk + 1))
+    q_new = np.zeros((nx, ny, nk))
+    shape = (nx, ny, nk)
+    interface_pressures(delp, pe1, ptop,
+                        origin=(0, 0, 0), domain=(nx, ny, nk + 1))
+    target_levels(pe1, pe2, bk, ptop,
+                  origin=(0, 0, 0), domain=(nx, ny, nk + 1))
+    remap_layer(q, q_new, pe1, pe2, origin=(0, 0, 0), domain=shape)
+
+    for i in range(nx):
+        for j in range(ny):
+            ref = reference.conservative_remap_1d(
+                q[i, j], pe1[i, j], pe2[i, j]
+            )
+            np.testing.assert_allclose(q_new[i, j], ref, rtol=1e-12)
+            # exact conservation of ∫ q dp per column
+            mass_src = np.sum(q[i, j] * np.diff(pe1[i, j]))
+            mass_dst = np.sum(q_new[i, j] * np.diff(pe2[i, j]))
+            np.testing.assert_allclose(mass_dst, mass_src, rtol=1e-12)
+
+
+def test_remap_preserves_uniform_field():
+    from repro.fv3.stencils.remapping import (
+        interface_pressures,
+        remap_layer,
+        target_levels,
+    )
+
+    nk, nx, ny = 8, 3, 3
+    ptop = 100.0
+    rng = np.random.default_rng(41)
+    delp = 500.0 * (1.0 + 0.05 * rng.standard_normal((nx, ny, nk)))
+    q = np.full((nx, ny, nk), 3.25)
+    pe1 = np.zeros((nx, ny, nk + 1))
+    pe2 = np.zeros((nx, ny, nk + 1))
+    q_new = np.zeros((nx, ny, nk))
+    bk = np.linspace(0.0, 1.0, nk + 1)
+    interface_pressures(delp, pe1, ptop,
+                        origin=(0, 0, 0), domain=(nx, ny, nk + 1))
+    target_levels(pe1, pe2, bk, ptop,
+                  origin=(0, 0, 0), domain=(nx, ny, nk + 1))
+    remap_layer(q, q_new, pe1, pe2, origin=(0, 0, 0), domain=(nx, ny, nk))
+    np.testing.assert_allclose(q_new, 3.25, rtol=1e-13)

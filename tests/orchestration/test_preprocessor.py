@@ -1,0 +1,112 @@
+"""Preprocessor tests: constant propagation, unrolling, dead branches."""
+
+import ast
+
+from repro.orchestration.closure import get_function_ast
+from repro.orchestration.preprocessor import preprocess_function, try_const_eval
+
+
+def _src(tree):
+    return ast.unparse(tree)
+
+
+def test_constant_name_folding():
+    def f():
+        x = N * 2
+        return x
+
+    out = preprocess_function(get_function_ast(f), {"N": 21})
+    assert "21 * 2" in _src(out) or "x = 42" in _src(out)
+
+
+def test_dead_branch_elimination_true():
+    def f():
+        if HYDROSTATIC:
+            do_hydro()
+        else:
+            do_nonhydro()
+
+    out = preprocess_function(get_function_ast(f), {"HYDROSTATIC": False})
+    src = _src(out)
+    assert "do_nonhydro" in src
+    assert "do_hydro()" not in src
+
+
+def test_dead_branch_keeps_runtime_conditions():
+    def f(flag):
+        if flag:
+            a()
+
+    out = preprocess_function(get_function_ast(f), {})
+    assert "if flag" in _src(out)
+
+
+def test_loop_unrolling_when_var_used():
+    def f():
+        for q in range(NQ):
+            advect(tracers[q])
+
+    out = preprocess_function(get_function_ast(f), {"NQ": 3})
+    src = _src(out)
+    assert "for q" not in src
+    assert src.count("advect") == 3
+    assert "tracers[0]" in src and "tracers[2]" in src
+
+
+def test_counted_loop_kept_when_var_unused():
+    def f():
+        for _ in range(N_SPLIT):
+            acoustic_step()
+
+    out = preprocess_function(get_function_ast(f), {"N_SPLIT": 6})
+    src = _src(out)
+    assert "for _ in range(6)" in src
+    assert src.count("acoustic_step") == 1
+
+
+def test_constant_dict_access_folds():
+    def f():
+        n = CONFIG["n_split"]
+        for _ in range(n):
+            step()
+
+    out = preprocess_function(
+        get_function_ast(f), {"CONFIG": {"n_split": 4}}
+    )
+    src = _src(out)
+    assert "range(4)" in src
+
+
+def test_nested_unroll_and_branch():
+    def f():
+        for q in range(NQ):
+            if q == 0:
+                init(q)
+            else:
+                advance(q)
+
+    out = preprocess_function(get_function_ast(f), {"NQ": 2})
+    src = _src(out)
+    assert "init(0)" in src
+    assert "advance(1)" in src
+    assert "if" not in src
+
+
+def test_try_const_eval_safety():
+    ok, _ = try_const_eval(ast.parse("open('x')", mode="eval").body, {})
+    assert not ok
+    ok, value = try_const_eval(ast.parse("min(3, N)", mode="eval").body, {"N": 2})
+    assert ok and value == 2
+
+
+def test_assigned_constants_propagate_downstream():
+    def f():
+        k = NK - 1
+        if k == 79:
+            special()
+        else:
+            general()
+
+    out = preprocess_function(get_function_ast(f), {"NK": 80})
+    src = _src(out)
+    assert "special" in src and "general()" not in src

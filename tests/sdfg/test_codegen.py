@@ -1,0 +1,205 @@
+"""Codegen equivalence tests: dataflow backend must match NumPy backend."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    BACKWARD,
+    FORWARD,
+    PARALLEL,
+    Field,
+    FieldIJ,
+    computation,
+    horizontal,
+    interval,
+    j_start,
+    region,
+    stencil,
+)
+
+
+def _run_both(stencil_obj, arrays, scalars=None, **call_kwargs):
+    """Run a stencil on both backends, return (numpy_result, dataflow_result)."""
+    scalars = scalars or {}
+    a_np = {k: v.copy() for k, v in arrays.items()}
+    a_df = {k: v.copy() for k, v in arrays.items()}
+    stencil_obj(**a_np, **scalars, backend="numpy", **call_kwargs)
+    stencil_obj(**a_df, **scalars, backend="dataflow", **call_kwargs)
+    return a_np, a_df
+
+
+def _assert_equal(a_np, a_df):
+    for name in a_np:
+        np.testing.assert_array_equal(
+            a_np[name], a_df[name], err_msg=f"mismatch in {name!r}"
+        )
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).random(shape)
+
+
+def test_copy_equivalence():
+    @stencil
+    def copy(a: Field, b: Field):
+        with computation(PARALLEL), interval(...):
+            b = a
+
+    arrays = {"a": _rand((5, 4, 3)), "b": np.zeros((5, 4, 3))}
+    _assert_equal(*_run_both(copy, arrays, origin=(0, 0, 0), domain=(5, 4, 3)))
+
+
+def test_laplacian_equivalence():
+    @stencil
+    def lap(a: Field, out: Field, w: float):
+        with computation(PARALLEL), interval(...):
+            out = w * (a[-1, 0, 0] + a[1, 0, 0] + a[0, -1, 0] + a[0, 1, 0] - 4.0 * a)
+
+    arrays = {"a": _rand((8, 8, 4)), "out": np.zeros((8, 8, 4))}
+    _assert_equal(*_run_both(lap, arrays, scalars={"w": 0.25}))
+
+
+def test_temporary_equivalence():
+    @stencil
+    def smooth(a: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            t = (a[-1, 0, 0] + a[1, 0, 0]) * 0.5
+            out = (t[-1, 0, 0] + t[1, 0, 0]) * 0.5
+
+    arrays = {"a": _rand((10, 6, 3)), "out": np.zeros((10, 6, 3))}
+    _assert_equal(
+        *_run_both(smooth, arrays, origin=(2, 2, 0), domain=(6, 2, 3))
+    )
+
+
+def test_vertical_solver_equivalence():
+    @stencil
+    def tridiag(a: Field, b: Field, c: Field, d: Field, x: Field):
+        with computation(FORWARD):
+            with interval(0, 1):
+                w = c / b
+                g = d / b
+            with interval(1, None):
+                w = c / (b - a * w[0, 0, -1])
+                g = (d - a * g[0, 0, -1]) / (b - a * w[0, 0, -1])
+        with computation(BACKWARD):
+            with interval(-1, None):
+                x = g
+            with interval(0, -1):
+                x = g - w * x[0, 0, 1]
+
+    rng = np.random.default_rng(1)
+    shape = (3, 3, 12)
+    arrays = {
+        "a": rng.random(shape),
+        "b": 4.0 + rng.random(shape),
+        "c": rng.random(shape),
+        "d": rng.random(shape),
+        "x": np.zeros(shape),
+    }
+    _assert_equal(*_run_both(tridiag, arrays, origin=(0, 0, 0), domain=shape))
+
+
+def test_mask_equivalence():
+    @stencil
+    def limiter(a: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            out = a
+            if a > 0.5:
+                out = 0.5
+            elif a < 0.2:
+                out = a * 2.0
+
+    arrays = {"a": _rand((6, 6, 4)), "out": np.zeros((6, 6, 4))}
+    _assert_equal(*_run_both(limiter, arrays, origin=(0, 0, 0), domain=(6, 6, 4)))
+
+
+def test_region_equivalence_both_strategies():
+    def defn(v: Field, flux: Field, dt2: float):
+        with computation(PARALLEL), interval(...):
+            flux = dt2 * v * 0.5
+            with horizontal(region[:, j_start]):
+                flux = dt2 * v
+
+    for predicated in (True, False):
+        s = stencil(defn)
+        # toggle the region strategy on the library-node schedule
+        arrays = {"v": _rand((5, 5, 2)), "flux": np.zeros((5, 5, 2))}
+        a_np = {k: v.copy() for k, v in arrays.items()}
+        s(**a_np, dt2=2.0, backend="numpy", origin=(0, 0, 0), domain=(5, 5, 2))
+
+        from repro.dsl.backend_dataflow import DataflowStencilExecutor
+
+        ex = DataflowStencilExecutor(s)
+        sdfg = ex.build_sdfg(
+            {k: v.shape for k, v in arrays.items()},
+            {k: v.dtype.type for k, v in arrays.items()},
+            (0, 0, 0),
+            (5, 5, 2),
+        )
+        for kern in sdfg.all_kernels():
+            kern.schedule.regions_as_predication = predicated
+        from repro.sdfg.codegen import compile_sdfg
+
+        prog = compile_sdfg(sdfg)
+        a_df = {k: v.copy() for k, v in arrays.items()}
+        prog(arrays=a_df, scalars={"dt2": 2.0})
+        _assert_equal(a_np, a_df)
+
+
+def test_mixed_axes_equivalence():
+    @stencil
+    def mixed(a: Field, m: FieldIJ, out: Field):
+        with computation(PARALLEL), interval(...):
+            out = a * m
+
+    arrays = {
+        "a": _rand((4, 4, 3)),
+        "m": _rand((4, 4), seed=2),
+        "out": np.zeros((4, 4, 3)),
+    }
+    _assert_equal(*_run_both(mixed, arrays, origin=(0, 0, 0), domain=(4, 4, 3)))
+
+
+def test_compiled_program_is_cached():
+    @stencil
+    def copy(a: Field, b: Field):
+        with computation(PARALLEL), interval(...):
+            b = a
+
+    from repro.dsl.backend_dataflow import DataflowStencilExecutor
+
+    ex = DataflowStencilExecutor(copy)
+    a = _rand((4, 4, 2))
+    b = np.zeros_like(a)
+    ex({"a": a, "b": b}, {}, (0, 0, 0), (4, 4, 2))
+    assert len(ex._cache) == 1
+    ex({"a": a, "b": b}, {}, (0, 0, 0), (4, 4, 2))
+    assert len(ex._cache) == 1
+    ex({"a": a, "b": b}, {}, (1, 1, 0), (3, 3, 2))
+    assert len(ex._cache) == 2
+
+
+def test_instrumented_kernel_times():
+    @stencil
+    def copy(a: Field, b: Field):
+        with computation(PARALLEL), interval(...):
+            b = a
+
+    from repro.dsl.backend_dataflow import DataflowStencilExecutor
+    from repro.sdfg.codegen import compile_sdfg
+
+    ex = DataflowStencilExecutor(copy)
+    a = _rand((32, 32, 8))
+    sdfg = ex.build_sdfg(
+        {"a": a.shape, "b": a.shape},
+        {"a": np.float64, "b": np.float64},
+        (0, 0, 0),
+        (32, 32, 8),
+    )
+    prog = compile_sdfg(sdfg, instrument=True)
+    prog(arrays={"a": a, "b": np.zeros_like(a)})
+    times = prog.kernel_times
+    assert len(times) == 1
+    (total, count), = times.values()
+    assert count == 1 and total > 0.0
