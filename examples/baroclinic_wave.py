@@ -6,13 +6,19 @@ drift) and a crude ASCII rendering of the mid-level temperature anomaly of
 tile 0, so the evolving wave can be eyeballed — the paper's "fast visual
 verification of the results".
 
-Run:  python examples/baroclinic_wave.py [steps]
+With tracing on (``REPRO_TRACE=1`` or ``--trace``) the run ends with the
+``repro.obs`` span tree: dyncore → acoustics → per-stencil calls and halo
+exchanges, with call counts, estimated bytes moved and achieved GB/s
+against the machine-model roofline.
+
+Run:  python examples/baroclinic_wave.py [steps] [--trace]
 """
 
 import sys
 
 import numpy as np
 
+from repro import obs
 from repro.fv3.config import DynamicalCoreConfig
 from repro.fv3.dyncore import DynamicalCore
 
@@ -72,6 +78,13 @@ def main(steps: int = 4) -> None:
     print(f"\ncommunication: {len(comm.log)} messages routed, "
           f"{sum(m.nbytes for m in comm.log) / 1e6:.1f} MB total")
 
+    if obs.enabled():
+        print()
+        print(obs.report())
+
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 4)
+    argv = [a for a in sys.argv[1:] if a != "--trace"]
+    if len(argv) != len(sys.argv) - 1:
+        obs.enable()
+    main(int(argv[0]) if argv else 4)

@@ -12,7 +12,15 @@ import numpy as np
 from repro.core.machine import P100
 from repro.core.perfmodel import bound_report, format_bound_report
 from repro.core.pipeline import optimize_sdfg_locally
-from repro.dsl import Field, PARALLEL, computation, interval, stencil
+from repro.dsl import (
+    Field,
+    PARALLEL,
+    available_backends,
+    computation,
+    default_backend,
+    interval,
+    stencil,
+)
 from repro.sdfg import SDFG
 from repro.sdfg.analysis import total_bytes
 from repro.sdfg.codegen import compile_sdfg
@@ -42,10 +50,14 @@ def main() -> None:
     q = rng.random(shape)
 
     # ---- 2. the debug backend: instant, interpretable ------------------
+    # backends live in a registry; the default is scoped with a context
+    # manager (restored on exit) instead of a mutable module global
+    print("registered backends:", ", ".join(available_backends()))
     flux = np.zeros(shape)
     q_out = np.zeros(shape)
-    diffusive_flux(q, flux, origin=origin, domain=domain)
-    apply_flux(q, flux, q_out, 0.1, origin=origin, domain=domain)
+    with default_backend("numpy"):
+        diffusive_flux(q, flux, origin=origin, domain=domain)
+        apply_flux(q, flux, q_out, 0.1, origin=origin, domain=domain)
     print("NumPy backend result checksum:", float(q_out.sum()))
 
     # ---- 3. the same computation as a whole-program SDFG ---------------

@@ -18,8 +18,11 @@ from typing import Callable, List, Optional, Sequence, Tuple
 
 from repro.core.machine import MachineModel
 from repro.core.perfmodel import model_sdfg_time
+from repro.obs import tracer as _obs
 from repro.sdfg.cutout import Cutout, time_cutout
 from repro.sdfg.transformations import OTFMapFusion, SubgraphFusion
+
+_TRACER = _obs.get_tracer()
 
 #: A single transformation application, described by the constituent
 #: stencil labels of the kernels it touched (the paper: "a configuration is
@@ -93,6 +96,16 @@ def tune_cutout(
     pass starts from the best configuration of the previous one
     (hierarchical OTF → SGF tuning).
     """
+    with _TRACER.span("autotune.cutout") as sp:
+        configs, evaluated = _tune_cutout(
+            cutout, evaluator, passes, max_depth, top_m
+        )
+        sp.add("configurations", evaluated)
+        sp.set("cutout", cutout.source_state)
+        return configs, evaluated
+
+
+def _tune_cutout(cutout, evaluator, passes, max_depth, top_m):
     evaluated = 0
 
     def scored(sdfg, steps) -> TuningConfig:

@@ -10,9 +10,9 @@ Table III.
 from __future__ import annotations
 
 import dataclasses
-import time
 from typing import Callable, Dict, List, Optional, Sequence
 
+from repro import obs
 from repro.core.autotune import make_evaluator, tune_cutout
 from repro.core.heuristics import apply_schedule_heuristics
 from repro.core.machine import HASWELL, P100, MachineModel
@@ -41,6 +41,10 @@ class StageResult:
     modeled_time: float
     measured_time: Optional[float] = None
     speedup: float = 1.0  # vs the FORTRAN baseline row
+    #: wall-clock seconds the toolchain spent producing this stage
+    stage_seconds: float = 0.0
+    #: span-tree snapshot of the stage's work (tracing enabled only)
+    spans: Optional[Dict] = None
 
 
 def prune_inactive_regions(sdfg) -> int:
@@ -117,6 +121,25 @@ class OptimizationPipeline:
         self.stages.append(result)
         return result
 
+    def _stage(self, cycle: str, name: str, sdfg, baseline: float,
+               run: Optional[Callable], work: Optional[Callable] = None
+               ) -> StageResult:
+        """Apply one optimization stage inside a span and record its row.
+
+        The stage's transformation work, model evaluation and optional
+        measured run all happen under a ``pipeline.<name>`` span, so each
+        Table III row carries the full span tree of how it was produced.
+        """
+        tracer = obs.get_tracer()
+        with tracer.timed(f"pipeline.{name}") as timer:
+            if work is not None:
+                work()
+            result = self._record(cycle, name, sdfg, baseline, run)
+        result.stage_seconds = timer.seconds
+        if timer.span is not None:
+            result.spans = obs.snapshot(timer.span)
+        return result
+
     def run(self, sdfg, run: Optional[Callable] = None) -> List[StageResult]:
         """Optimize ``sdfg`` in place, recording Table III-style stages.
 
@@ -133,36 +156,37 @@ class OptimizationPipeline:
                 speedup=1.0,
             )
         )
-        self._record("", "GT4Py + DaCe (Default)", sdfg, baseline_time, run)
+        self._stage("", "GT4Py + DaCe (Default)", sdfg, baseline_time, run)
 
         # ---- cycle 1 ------------------------------------------------------
-        apply_schedule_heuristics(sdfg, opts.machine)
-        self._record("Cycle 1", "Stencil schedule heuristics", sdfg,
-                     baseline_time, run)
+        self._stage("Cycle 1", "Stencil schedule heuristics", sdfg,
+                    baseline_time, run,
+                    lambda: apply_schedule_heuristics(sdfg, opts.machine))
 
-        apply_exhaustively(sdfg, [LocalStorage()])
-        self._record("Cycle 1", "Local caching", sdfg, baseline_time, run)
+        self._stage("Cycle 1", "Local caching", sdfg, baseline_time, run,
+                    lambda: apply_exhaustively(sdfg, [LocalStorage()]))
 
-        apply_exhaustively(sdfg, [PowerExpansion()])
-        self._record("Cycle 1", "Optimize power operator", sdfg,
-                     baseline_time, run)
+        self._stage("Cycle 1", "Optimize power operator", sdfg,
+                    baseline_time, run,
+                    lambda: apply_exhaustively(sdfg, [PowerExpansion()]))
 
-        apply_exhaustively(sdfg, [RegionSplit()])
-        self._record("Cycle 1", "Split regions to multiple kernels", sdfg,
-                     baseline_time, run)
+        self._stage("Cycle 1", "Split regions to multiple kernels", sdfg,
+                    baseline_time, run,
+                    lambda: apply_exhaustively(sdfg, [RegionSplit()]))
 
         # ---- cycle 2 ------------------------------------------------------
-        for hook in opts.fine_tune_hooks:
-            hook(sdfg)
-        self._record("Cycle 2", "Lagrangian contrib. reschedule", sdfg,
-                     baseline_time, run)
+        def _fine_tune():
+            for hook in opts.fine_tune_hooks:
+                hook(sdfg)
 
-        prune_inactive_regions(sdfg)
-        self._record("Cycle 2", "Region pruning", sdfg, baseline_time, run)
+        self._stage("Cycle 2", "Lagrangian contrib. reschedule", sdfg,
+                    baseline_time, run, _fine_tune)
 
-        self.transfer_tune(sdfg)
-        self._record("Cycle 2", "Transfer Tuning (FVT)", sdfg,
-                     baseline_time, run)
+        self._stage("Cycle 2", "Region pruning", sdfg, baseline_time, run,
+                    lambda: prune_inactive_regions(sdfg))
+
+        self._stage("Cycle 2", "Transfer Tuning (FVT)", sdfg,
+                    baseline_time, run, lambda: self.transfer_tune(sdfg))
         return self.stages
 
     # ------------------------------------------------------------------
@@ -182,16 +206,16 @@ class OptimizationPipeline:
         )
         configs = []
         total_evaluated = 0
-        t0 = time.perf_counter()
-        for cutout in cutouts:
-            cfgs, n = tune_cutout(cutout, evaluator)
-            configs.extend(cfgs)
-            total_evaluated += n
-        phase1_time = time.perf_counter() - t0
+        with obs.timed("transfer.tune_cutouts") as phase1:
+            for cutout in cutouts:
+                cfgs, n = tune_cutout(cutout, evaluator)
+                configs.extend(cfgs)
+                total_evaluated += n
         patterns = extract_patterns(configs, top_m=2)
-        t0 = time.perf_counter()
-        result = transfer_patterns(sdfg, patterns, machine=opts.machine)
-        phase2_time = time.perf_counter() - t0
+        with obs.timed("transfer.apply_patterns") as phase2:
+            result = transfer_patterns(sdfg, patterns, machine=opts.machine)
+        phase1_time = phase1.seconds
+        phase2_time = phase2.seconds
         # clean up fully-fused leftovers
         apply_exhaustively(sdfg, [DeadKernelElimination()])
         return {

@@ -8,8 +8,20 @@ vertical iteration policies, horizontal regions) from *how* it is executed
   the paper's pure-Python backend (Sec. III-A).
 - ``"dataflow"``: lowering to the data-centric SDFG IR (:mod:`repro.sdfg`)
   followed by optimization and code generation (Sec. V).
+
+Backends are looked up through the :mod:`repro.dsl.backends` registry —
+``register_backend(name, factory)`` plugs in new ones without touching the
+DSL, ``available_backends()`` lists them, and ``default_backend(name)``
+switches the process default (also usable as a context manager).
 """
 
+from repro.dsl.backends import (
+    UnknownBackendError,
+    available_backends,
+    default_backend,
+    get_backend,
+    register_backend,
+)
 from repro.dsl.builtins import (
     BACKWARD,
     FORWARD,
@@ -24,7 +36,7 @@ from repro.dsl.builtins import (
     j_start,
     region,
 )
-from repro.dsl.stencil import StencilObject, stencil
+from repro.dsl.stencil import StencilObject, set_default_backend, stencil
 from repro.dsl.storage import StorageSpec, make_storage, zeros
 from repro.dsl.types import Field, FieldIJ, FieldK
 
@@ -37,8 +49,12 @@ __all__ = [
     "FieldK",
     "StencilObject",
     "StorageSpec",
+    "UnknownBackendError",
+    "available_backends",
     "computation",
+    "default_backend",
     "function",
+    "get_backend",
     "horizontal",
     "i_end",
     "i_start",
@@ -47,6 +63,8 @@ __all__ = [
     "j_start",
     "make_storage",
     "region",
+    "register_backend",
+    "set_default_backend",
     "stencil",
     "zeros",
 ]

@@ -22,6 +22,9 @@ class DataflowStencilExecutor:
     """Executes a stencil through the SDFG pipeline."""
 
     def __init__(self, stencil_object, optimize: bool = False):
+        from repro.obs import tracer as _obs
+
+        self._tracer = _obs.get_tracer()
         self.stencil_object = stencil_object
         self.optimize = optimize
         self._cache: Dict[Tuple, object] = {}
@@ -71,15 +74,29 @@ class DataflowStencilExecutor:
         )
         program = self._cache.get(key)
         if program is None:
-            sdfg = self.build_sdfg(
-                {n: a.shape for n, a in fields.items()},
-                {n: a.dtype.type for n, a in fields.items()},
-                origin,
-                domain,
-                bounds,
-            )
-            from repro.sdfg.codegen import compile_sdfg
+            # lower + compile: traced separately so reports distinguish
+            # one-time specialization cost from steady-state execution
+            with self._tracer.span("exec.dataflow.compile"):
+                sdfg = self.build_sdfg(
+                    {n: a.shape for n, a in fields.items()},
+                    {n: a.dtype.type for n, a in fields.items()},
+                    origin,
+                    domain,
+                    bounds,
+                )
+                from repro.sdfg.codegen import compile_sdfg
 
-            program = compile_sdfg(sdfg)
+                program = compile_sdfg(sdfg)
             self._cache[key] = program
-        program(arrays=fields, scalars=scalars)
+        if self._tracer.enabled:
+            with self._tracer.span("exec.dataflow"):
+                program(arrays=fields, scalars=scalars)
+        else:
+            program(arrays=fields, scalars=scalars)
+
+
+# self-registration: "dataflow" resolves through the repro.dsl.backends
+# registry; the module itself is imported lazily on first lookup
+from repro.dsl.backends import register_backend as _register_backend
+
+_register_backend("dataflow", DataflowStencilExecutor, replace=True)

@@ -260,6 +260,9 @@ class NumpyStencilExecutor:
     """Executes a :class:`StencilDef` with NumPy semantics."""
 
     def __init__(self, stencil: StencilDef):
+        from repro.obs import tracer as _obs
+
+        self._tracer = _obs.get_tracer()
         self.stencil = stencil
         self.extents = compute_extents(stencil)
         self._stmt_extent: Dict[int, Extent] = {
@@ -275,6 +278,13 @@ class NumpyStencilExecutor:
         domain: Tuple[int, int, int],
         bounds: Optional[GridBounds] = None,
     ) -> None:
+        if self._tracer.enabled:
+            with self._tracer.span("exec.numpy"):
+                self._run(fields, scalars, origin, domain, bounds)
+        else:
+            self._run(fields, scalars, origin, domain, bounds)
+
+    def _run(self, fields, scalars, origin, domain, bounds) -> None:
         ctx = _EvalContext(
             self.stencil,
             self.extents,
@@ -340,3 +350,14 @@ class NumpyStencilExecutor:
             krange[1] - krange[0],
         )
         target[...] = np.broadcast_to(value, shape)
+
+
+# self-registration: "numpy" resolves through the repro.dsl.backends
+# registry, like any third-party backend would
+from repro.dsl.backends import register_backend as _register_backend
+
+_register_backend(
+    "numpy",
+    lambda stencil_object: NumpyStencilExecutor(stencil_object.definition),
+    replace=True,
+)

@@ -9,19 +9,33 @@ whole-program SDFG as a library node when a data-centric program calls it.
 from __future__ import annotations
 
 import functools
+import warnings
 from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.dsl.backend_numpy import GridBounds, NumpyStencilExecutor
+from repro.dsl import backends
+from repro.dsl.backend_numpy import GridBounds
 from repro.dsl.extents import compute_extents
 from repro.dsl.frontend import parse_stencil
 from repro.dsl.ir import StencilDef
+from repro.obs import tracer as _obs
 
-#: Process-wide default backend, switchable for experiments.
-DEFAULT_BACKEND = "numpy"
+_TRACER = _obs.get_tracer()
 
-_VALID_BACKENDS = ("numpy", "dataflow")
+
+def __getattr__(name: str):
+    # Deprecated module globals, kept as warning shims. The backend set
+    # lives in repro.dsl.backends now; the old names resolve through it.
+    if name == "DEFAULT_BACKEND":
+        warnings.warn(
+            "repro.dsl.stencil.DEFAULT_BACKEND is deprecated; use "
+            "repro.dsl.default_backend(...) to get or set the default",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return backends.current_default_backend()
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 class StencilObject:
@@ -43,7 +57,7 @@ class StencilObject:
     # ------------------------------------------------------------------
     @property
     def backend(self) -> str:
-        return self._backend_name or DEFAULT_BACKEND
+        return self._backend_name or backends.current_default_backend()
 
     @property
     def field_names(self):
@@ -59,18 +73,13 @@ class StencilObject:
         return self.extents.max_halo()
 
     def _executor(self, backend: str):
-        if backend not in _VALID_BACKENDS:
-            raise ValueError(
-                f"unknown backend {backend!r}; choose from {_VALID_BACKENDS}"
-            )
-        if backend not in self._executors:
-            if backend == "numpy":
-                self._executors[backend] = NumpyStencilExecutor(self.definition)
-            else:
-                from repro.dsl.backend_dataflow import DataflowStencilExecutor
-
-                self._executors[backend] = DataflowStencilExecutor(self)
-        return self._executors[backend]
+        executor = self._executors.get(backend)
+        if executor is None:
+            # raises UnknownBackendError (a ValueError) with the registry
+            # contents and a nearest-match suggestion on bad names
+            executor = backends.create_executor(backend, self)
+            self._executors[backend] = executor
+        return executor
 
     # ------------------------------------------------------------------
     def __call__(
@@ -85,8 +94,19 @@ class StencilObject:
         fields, scalars = self._bind_arguments(args, kwargs)
         origin, domain = self._resolve_domain(fields, origin, domain)
         self._validate(fields, origin, domain)
-        executor = self._executor(backend or self.backend)
-        executor(fields, scalars, origin, domain, bounds)
+        backend_name = backend or self.backend
+        executor = self._executor(backend_name)
+        if not _TRACER.enabled:
+            executor(fields, scalars, origin, domain, bounds)
+            return
+        from repro.obs.metrics import stencil_traffic_bytes
+
+        with _TRACER.span(f"stencil.{self.name}") as sp:
+            executor(fields, scalars, origin, domain, bounds)
+            ni, nj, nk = domain
+            sp.add("points", ni * nj * nk)
+            sp.add("bytes", stencil_traffic_bytes(self, fields, domain))
+            sp.set("backend", backend_name)
 
     # ------------------------------------------------------------------
     def _bind_arguments(self, args, kwargs):
@@ -205,8 +225,12 @@ def stencil(func=None, *, backend: Optional[str] = None,
 
 
 def set_default_backend(backend: str) -> None:
-    """Switch the process-wide default backend ("numpy" or "dataflow")."""
-    global DEFAULT_BACKEND
-    if backend not in _VALID_BACKENDS:
-        raise ValueError(f"unknown backend {backend!r}")
-    DEFAULT_BACKEND = backend
+    """Deprecated: use :func:`repro.dsl.default_backend` instead."""
+    warnings.warn(
+        "set_default_backend() is deprecated; use "
+        "repro.dsl.default_backend(name) — it also works as a context "
+        "manager restoring the previous default",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    backends.default_backend(backend)

@@ -31,6 +31,9 @@ from repro.fv3.stencils.d_sw import DGridSolver
 from repro.fv3.stencils.fvtp2d import FiniteVolumeTransport
 from repro.fv3.stencils.riem_solver_c import RiemannSolverC
 from repro.fv3.stencils.tracer2d import accumulate_fluxes
+from repro.obs import tracer as _obs
+
+_TRACER = _obs.get_tracer()
 
 
 class RankWorkspace:
@@ -103,6 +106,10 @@ class AcousticDynamics:
     # ------------------------------------------------------------------
     def substep(self, dt: float) -> None:
         """One acoustic sub-step across all ranks."""
+        with _TRACER.span("acoustics.substep"):
+            self._substep(dt)
+
+    def _substep(self, dt: float) -> None:
         states, work = self.states, self.work
         nranks = self.partitioner.total_ranks
         # winds with rotated halos
@@ -144,7 +151,8 @@ class AcousticDynamics:
             )
 
     def run(self, dt_acoustic: float, n_split: int) -> None:
-        for w in self.work:
-            w.zero_accumulators()
-        for _ in range(n_split):
-            self.substep(dt_acoustic)
+        with _TRACER.span("acoustics"):
+            for w in self.work:
+                w.zero_accumulators()
+            for _ in range(n_split):
+                self.substep(dt_acoustic)

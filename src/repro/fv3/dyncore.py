@@ -22,6 +22,9 @@ from repro.fv3.partitioner import CubedSpherePartitioner
 from repro.fv3.stencils.fvtp2d import FiniteVolumeTransport
 from repro.fv3.stencils.remapping import LagrangianToEulerian
 from repro.fv3.stencils.tracer2d import TracerAdvection
+from repro.obs import tracer as _obs
+
+_TRACER = _obs.get_tracer()
 
 
 class DynamicalCore:
@@ -75,8 +78,9 @@ class DynamicalCore:
     def step_dynamics(self) -> None:
         """Advance the model by one physics time step (Fig. 2 outer box)."""
         cfg = self.config
-        for _ in range(cfg.k_split):
-            self._remapping_step(cfg.dt_remap)
+        with _TRACER.span("dyncore.step"):
+            for _ in range(cfg.k_split):
+                self._remapping_step(cfg.dt_remap)
         self.time += cfg.dt_atmos
 
     def _remapping_step(self, dt_remap: float) -> None:
@@ -88,9 +92,11 @@ class DynamicalCore:
         # acoustic loop (accumulates tracer Courant numbers/mass fluxes)
         self.acoustics.run(cfg.dt_acoustic, cfg.n_split)
         # sub-cycled tracer advection with the accumulated transport
-        self._advect_tracers()
+        with _TRACER.span("dyncore.tracer_advection"):
+            self._advect_tracers()
         # Lagrangian-to-Eulerian vertical remap
-        self._vertical_remap()
+        with _TRACER.span("dyncore.vertical_remap"):
+            self._vertical_remap()
 
     def _advect_tracers(self) -> None:
         nranks = self.partitioner.total_ranks

@@ -29,6 +29,9 @@ from repro.fv3.partitioner import (
     _ROTATIONS,
     CubedSpherePartitioner,
 )
+from repro.obs import tracer as _obs
+
+_TRACER = _obs.get_tracer()
 
 
 @dataclasses.dataclass
@@ -156,41 +159,53 @@ class HaloUpdater:
         """Run one phase: pack → Isend/Irecv → wait → unpack (+rotate)."""
         comm = self.comm
         requests = []
-        # post sends: the source rank packs the requested cells
-        for rank in range(self.partitioner.total_ranks):
-            for pi, plan in enumerate(self.plans[rank][phase]):
-                src_field = fields[plan.src_rank]
-                payload = src_field[plan.src_i, plan.src_j]
-                comm.Isend(
-                    np.ascontiguousarray(payload),
-                    source=plan.src_rank,
-                    dest=rank,
-                    tag=phase * 1000 + pi,
-                )
-        # post receives and complete them
-        for rank in range(self.partitioner.total_ranks):
-            for pi, plan in enumerate(self.plans[rank][phase]):
-                shape = (plan.cells,) + fields[rank].shape[2:]
-                buf = np.empty(shape, dtype=fields[rank].dtype)
-                req = comm.Irecv(
-                    buf, source=plan.src_rank, dest=rank, tag=phase * 1000 + pi
-                )
-                requests.append((rank, plan, buf, req))
-        for rank, plan, buf, req in requests:
-            req.wait()
-            fields[rank][plan.dst_i, plan.dst_j] = buf
+        messages = 0
+        nbytes = 0
+        with _TRACER.span("halo.exchange") as sp:
+            # post sends: the source rank packs the requested cells
+            for rank in range(self.partitioner.total_ranks):
+                for pi, plan in enumerate(self.plans[rank][phase]):
+                    src_field = fields[plan.src_rank]
+                    payload = src_field[plan.src_i, plan.src_j]
+                    messages += 1
+                    nbytes += payload.nbytes
+                    comm.Isend(
+                        np.ascontiguousarray(payload),
+                        source=plan.src_rank,
+                        dest=rank,
+                        tag=phase * 1000 + pi,
+                    )
+            # post receives and complete them
+            for rank in range(self.partitioner.total_ranks):
+                for pi, plan in enumerate(self.plans[rank][phase]):
+                    shape = (plan.cells,) + fields[rank].shape[2:]
+                    buf = np.empty(shape, dtype=fields[rank].dtype)
+                    req = comm.Irecv(
+                        buf, source=plan.src_rank, dest=rank,
+                        tag=phase * 1000 + pi,
+                    )
+                    requests.append((rank, plan, buf, req))
+            for rank, plan, buf, req in requests:
+                req.wait()
+                fields[rank][plan.dst_i, plan.dst_j] = buf
+            sp.add("messages", messages)
+            sp.add("bytes", nbytes)
 
     def _rotate_vectors(self, vector_pair, phase: int) -> None:
         u_fields, v_fields = vector_pair
-        for rank in range(self.partitioner.total_ranks):
-            for plan in self.plans[rank][phase]:
-                if plan.rotations == 0:
-                    continue
-                rot = _ROTATIONS[plan.rotations]
-                u = u_fields[rank][plan.dst_i, plan.dst_j]
-                v = v_fields[rank][plan.dst_i, plan.dst_j]
-                u_fields[rank][plan.dst_i, plan.dst_j] = rot[0, 0] * u + rot[0, 1] * v
-                v_fields[rank][plan.dst_i, plan.dst_j] = rot[1, 0] * u + rot[1, 1] * v
+        rotated = 0
+        with _TRACER.span("halo.rotate_vectors") as sp:
+            for rank in range(self.partitioner.total_ranks):
+                for plan in self.plans[rank][phase]:
+                    if plan.rotations == 0:
+                        continue
+                    rot = _ROTATIONS[plan.rotations]
+                    rotated += plan.cells
+                    u = u_fields[rank][plan.dst_i, plan.dst_j]
+                    v = v_fields[rank][plan.dst_i, plan.dst_j]
+                    u_fields[rank][plan.dst_i, plan.dst_j] = rot[0, 0] * u + rot[0, 1] * v
+                    v_fields[rank][plan.dst_i, plan.dst_j] = rot[1, 0] * u + rot[1, 1] * v
+            sp.add("cells", rotated)
 
     # ------------------------------------------------------------------
     def update_scalar(self, fields: Sequence[np.ndarray]) -> None:
@@ -199,22 +214,24 @@ class HaloUpdater:
         Arrays are shaped (nx + 2h, ny + 2h[, nk]); the interior is
         [h:h+nx, h:h+ny].
         """
-        self._check(fields)
-        self._exchange_phase(fields, 0)
-        self._exchange_phase(fields, 1)
+        with _TRACER.span("halo.update_scalar"):
+            self._check(fields)
+            self._exchange_phase(fields, 0)
+            self._exchange_phase(fields, 1)
 
     def update_vector(
         self, u_fields: Sequence[np.ndarray], v_fields: Sequence[np.ndarray]
     ) -> None:
         """Fill halos of a vector field, rotating components across tile
         seams (A-grid components in the local tile basis)."""
-        self._check(u_fields)
-        self._check(v_fields)
-        for phase in (0, 1):
-            # exchange both components, then rotate the received cells
-            self._exchange_phase(u_fields, phase)
-            self._exchange_phase(v_fields, phase)
-            self._rotate_vectors((u_fields, v_fields), phase)
+        with _TRACER.span("halo.update_vector"):
+            self._check(u_fields)
+            self._check(v_fields)
+            for phase in (0, 1):
+                # exchange both components, then rotate the received cells
+                self._exchange_phase(u_fields, phase)
+                self._exchange_phase(v_fields, phase)
+                self._rotate_vectors((u_fields, v_fields), phase)
 
     def _check(self, fields) -> None:
         p = self.partitioner

@@ -1,0 +1,101 @@
+"""Rendering of recorded span trees: text tables and JSON export.
+
+The text report is the human-facing view — an indented span tree with
+call counts, total/self wall time, and (for spans carrying a ``bytes``
+attribute) achieved GB/s plus the fraction of the observed machine's
+roofline bandwidth. The JSON export is the machine-facing view consumed
+by the benchmarks.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional
+
+from repro.core.machine import MachineModel
+from repro.obs.metrics import observed_machine
+from repro.obs.tracer import Span, Tracer, get_tracer
+
+__all__ = ["report", "snapshot", "to_json"]
+
+
+def snapshot(node: Span) -> Dict[str, object]:
+    """A JSON-able copy of one span subtree."""
+    return {
+        "name": node.name,
+        "count": node.count,
+        "total_seconds": node.total_seconds,
+        "self_seconds": node.self_seconds,
+        "attrs": dict(node.attrs),
+        "children": [snapshot(c) for c in node.children.values()],
+    }
+
+
+def to_json(tracer: Optional[Tracer] = None, indent: Optional[int] = 2) -> str:
+    """Serialize a tracer's full span tree (default tracer if omitted)."""
+    tracer = tracer or get_tracer()
+    payload = {
+        "tracer": tracer.name,
+        "machine": observed_machine().name,
+        "spans": [snapshot(c) for c in tracer.root.children.values()],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def _bandwidth_cells(node: Span, machine: MachineModel) -> str:
+    nbytes = node.attrs.get("bytes")
+    if not isinstance(nbytes, (int, float)) or node.total_seconds <= 0:
+        return f"{'':>9} {'':>7}"
+    gbs = nbytes / node.total_seconds / 1e9
+    frac = nbytes / node.total_seconds / machine.achievable_bandwidth
+    return f"{gbs:>7.2f}GB/s {100 * frac:>5.1f}%"
+
+
+def _attr_cell(node: Span) -> str:
+    shown = []
+    for key, value in node.attrs.items():
+        if key == "bytes":
+            continue
+        if isinstance(value, float):
+            shown.append(f"{key}={value:.3g}")
+        else:
+            shown.append(f"{key}={value}")
+    return "  ".join(shown)
+
+
+def _render(node: Span, depth: int, lines: List[str],
+            machine: MachineModel) -> None:
+    name = "  " * depth + node.name
+    lines.append(
+        f"{name:<44} {node.count:>7} {node.total_seconds:>10.4f}s "
+        f"{node.self_seconds:>10.4f}s {_bandwidth_cells(node, machine)}"
+        f"  {_attr_cell(node)}".rstrip()
+    )
+    for child in node.children.values():
+        _render(child, depth + 1, lines, machine)
+
+
+def report(
+    tracer: Optional[Tracer] = None,
+    machine: Optional[MachineModel] = None,
+) -> str:
+    """Render the recorded span tree as a text table.
+
+    ``machine`` selects the roofline reference for the GB/s column
+    (default: :func:`repro.obs.metrics.observed_machine`).
+    """
+    tracer = tracer or get_tracer()
+    machine = machine or observed_machine()
+    if not tracer.root.children:
+        return (
+            "no spans recorded — enable tracing with REPRO_TRACE=1 "
+            "or repro.obs.enable()"
+        )
+    lines = [
+        f"span tree ({tracer.name!r} tracer, roofline: {machine.name})",
+        f"{'span':<44} {'calls':>7} {'total':>11} {'self':>11} "
+        f"{'achieved':>9} {'%roof':>7}",
+    ]
+    for child in tracer.root.children.values():
+        _render(child, 0, lines, machine)
+    return "\n".join(lines)

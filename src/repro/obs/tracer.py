@@ -1,0 +1,262 @@
+"""Structured tracing: nestable spans with wall time, call counts and
+user-attached attributes.
+
+Design goals (in order):
+
+1. **Zero-cost when off.** ``Tracer.span`` returns a shared no-op context
+   manager when tracing is disabled — no allocation, no clock read.
+   Enabling is a process-wide switch (``REPRO_TRACE=1`` or
+   :func:`enable`), so instrumented code never needs its own guard.
+2. **Bounded trees.** Spans aggregate by ``(parent, name)``: calling the
+   same span 10,000 times inside a loop produces one node with
+   ``count == 10000``, not 10,000 nodes. This is what makes it safe to
+   instrument per-stencil-call hot paths.
+3. **Attachable metrics.** ``span.add("bytes", n)`` accumulates numeric
+   attributes; ``span.set("backend", "numpy")`` overwrites. The report
+   layer derives achieved GB/s and roofline fractions from these.
+
+A process-wide registry maps names to tracers; the default tracer
+(``get_tracer()``) is the one all built-in instrumentation records into.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Dict, Optional
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "disable",
+    "enable",
+    "enabled",
+    "get_tracer",
+    "reset",
+    "span",
+    "timed",
+]
+
+
+def _env_enabled() -> bool:
+    return os.environ.get("REPRO_TRACE", "").strip().lower() in (
+        "1", "true", "yes", "on"
+    )
+
+
+class _NullSpan:
+    """Shared do-nothing span returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, key, value) -> None:
+        pass
+
+    def add(self, key, value) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One aggregated node of the span tree.
+
+    A span accumulates over every entry with the same name under the same
+    parent: ``count`` entries totalling ``total_seconds`` of wall time.
+    """
+
+    __slots__ = ("name", "count", "total_seconds", "attrs", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total_seconds = 0.0
+        self.attrs: Dict[str, object] = {}
+        self.children: Dict[str, "Span"] = {}
+
+    # -- metric attachment ---------------------------------------------
+    def set(self, key: str, value) -> None:
+        """Attach (overwrite) an attribute on this span."""
+        self.attrs[key] = value
+
+    def add(self, key: str, value) -> None:
+        """Accumulate a numeric attribute across entries."""
+        self.attrs[key] = self.attrs.get(key, 0) + value
+
+    # -- tree access ----------------------------------------------------
+    def child(self, name: str) -> "Span":
+        node = self.children.get(name)
+        if node is None:
+            node = Span(name)
+            self.children[name] = node
+        return node
+
+    @property
+    def self_seconds(self) -> float:
+        """Wall time not accounted for by child spans."""
+        return self.total_seconds - sum(
+            c.total_seconds for c in self.children.values()
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Span({self.name!r}, count={self.count}, "
+            f"total={self.total_seconds:.6f}s, "
+            f"children={len(self.children)})"
+        )
+
+
+class _ActiveSpan:
+    """Context manager for one live entry into a :class:`Span`."""
+
+    __slots__ = ("_tracer", "_node", "_t0")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._tracer = tracer
+        self._node = tracer._stack[-1].child(name)
+
+    def __enter__(self) -> Span:
+        node = self._node
+        node.count += 1
+        self._tracer._stack.append(node)
+        self._t0 = time.perf_counter()
+        return node
+
+    def __exit__(self, *exc) -> bool:
+        elapsed = time.perf_counter() - self._t0
+        self._node.total_seconds += elapsed
+        self._tracer._stack.pop()
+        return False
+
+
+class _TimedSpan:
+    """A span that always measures wall time, even when tracing is off.
+
+    Replaces ad-hoc ``time.perf_counter()`` pairs: the elapsed time is
+    available on ``.seconds`` after the ``with`` block, and — when the
+    tracer is enabled — the measurement is also recorded in the span tree.
+    """
+
+    __slots__ = ("_cm", "_t0", "seconds", "span")
+
+    def __init__(self, tracer: "Tracer", name: str):
+        self._cm = tracer.span(name)
+        self.seconds = 0.0
+        self.span: Optional[Span] = None
+
+    def __enter__(self) -> "_TimedSpan":
+        entered = self._cm.__enter__()
+        self.span = entered if isinstance(entered, Span) else None
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.seconds = time.perf_counter() - self._t0
+        return self._cm.__exit__(*exc)
+
+
+class Tracer:
+    """A named tracer holding one span tree and an on/off switch.
+
+    ``enabled=None`` (the default) reads the ``REPRO_TRACE`` environment
+    variable, so exporting ``REPRO_TRACE=1`` turns on every tracer created
+    afterwards — including the process-wide default.
+    """
+
+    def __init__(self, name: str = "repro", enabled: Optional[bool] = None):
+        self.name = name
+        self.enabled = _env_enabled() if enabled is None else enabled
+        self.root = Span("<root>")
+        self._stack = [self.root]
+
+    # -- switching ------------------------------------------------------
+    def enable(self) -> None:
+        self.enabled = True
+
+    def disable(self) -> None:
+        self.enabled = False
+
+    def reset(self) -> None:
+        """Drop all recorded spans (the enabled flag is untouched)."""
+        self.root = Span("<root>")
+        self._stack = [self.root]
+
+    # -- recording ------------------------------------------------------
+    def span(self, name: str):
+        """Context manager for one (nested) span entry.
+
+        When the tracer is disabled this returns a shared no-op object —
+        the only cost is this method call and one attribute check.
+        """
+        if not self.enabled:
+            return _NULL_SPAN
+        return _ActiveSpan(self, name)
+
+    def timed(self, name: str) -> _TimedSpan:
+        """A span whose wall time is measured even when tracing is off."""
+        return _TimedSpan(self, name)
+
+    @property
+    def current(self) -> Span:
+        """The innermost open span (the root when none is open)."""
+        return self._stack[-1]
+
+    def __repr__(self) -> str:
+        state = "enabled" if self.enabled else "disabled"
+        return f"Tracer({self.name!r}, {state}, spans={len(self.root.children)})"
+
+
+# ---------------------------------------------------------------------------
+# process-wide registry
+# ---------------------------------------------------------------------------
+_TRACERS: Dict[str, Tracer] = {}
+
+
+def get_tracer(name: str = "repro") -> Tracer:
+    """The process-wide tracer registered under ``name`` (created lazily).
+
+    All built-in instrumentation (stencils, halo exchange, pipeline)
+    records into the default ``"repro"`` tracer.
+    """
+    tracer = _TRACERS.get(name)
+    if tracer is None:
+        tracer = Tracer(name)
+        _TRACERS[name] = tracer
+    return tracer
+
+
+def span(name: str):
+    """Open a span on the default tracer: ``with obs.span("x") as sp:``."""
+    return get_tracer().span(name)
+
+
+def timed(name: str) -> _TimedSpan:
+    """Always-measuring span on the default tracer (see ``Tracer.timed``)."""
+    return get_tracer().timed(name)
+
+
+def enable() -> None:
+    """Turn on tracing on the default tracer."""
+    get_tracer().enable()
+
+
+def disable() -> None:
+    """Turn off tracing on the default tracer."""
+    get_tracer().disable()
+
+
+def enabled() -> bool:
+    """Whether the default tracer is currently recording."""
+    return get_tracer().enabled
+
+
+def reset() -> None:
+    """Drop all spans recorded on the default tracer."""
+    get_tracer().reset()

@@ -28,10 +28,13 @@ import numpy as np
 
 from repro.dsl.backend_numpy import GridBounds
 from repro.dsl.stencil import StencilObject
+from repro.obs import tracer as _obs
 from repro.orchestration.closure import get_function_ast, resolve_closure
 from repro.orchestration.preprocessor import preprocess_function, try_const_eval
 from repro.sdfg.graph import SDFG, SDFGState
 from repro.sdfg.nodes import Callback, StencilComputation, Tasklet
+
+_TRACER = _obs.get_tracer()
 
 
 class OrchestrationError(ValueError):
@@ -626,6 +629,47 @@ class OrchestratedProgram:
         )
         return ids + kids
 
+    def _span_label(self) -> str:
+        if self.instance is not None and self.name == "__call__":
+            return f"program.{type(self.instance).__name__}"
+        if self.instance is not None:
+            return f"program.{type(self.instance).__name__}.{self.name}"
+        return f"program.{self.name}"
+
+    def _kernel_bytes_by_label(self) -> Dict[str, Tuple[int, int]]:
+        """label -> (summed perf-model moved bytes, kernel count)."""
+        from repro.sdfg.nodes import Kernel
+
+        out: Dict[str, Tuple[int, int]] = {}
+        sdfg = self._builder.sdfg
+        for state in sdfg.states:
+            for node in state.nodes:
+                if isinstance(node, Kernel):
+                    nbytes, count = out.get(node.label, (0, 0))
+                    out[node.label] = (nbytes + node.moved_bytes(sdfg),
+                                       count + 1)
+        return out
+
+    def _record_kernel_spans(self, parent, before: Dict) -> None:
+        """Attach per-kernel child spans from the instrumented deltas.
+
+        Kernel wall times come from the compiled program's counters; byte
+        counts come from the perf model (each accessed element once), so
+        the report's GB/s column is modeled traffic over measured time —
+        exactly the paper's Fig. 10 ratio.
+        """
+        bytes_by_label = self._kernel_bytes_by_label()
+        for label, (total, count) in self._compiled.kernel_times.items():
+            t0, c0 = before.get(label, (0.0, 0))
+            dt, dc = total - t0, count - c0
+            if dc <= 0:
+                continue
+            child = parent.child(f"kernel.{label}")
+            child.count += dc
+            child.total_seconds += dt
+            nbytes, nkernels = bytes_by_label.get(label, (0, 1))
+            child.add("bytes", dc * (nbytes // max(nkernels, 1)))
+
     def __call__(self, *args, **kwargs):
         key = self._key(args, kwargs)
         if self._build_key != key:
@@ -634,9 +678,11 @@ class OrchestratedProgram:
                 self._builder, self._compiled = cached
                 self._build_key = key
             else:
-                self.build(*args, **kwargs)
+                with _TRACER.span("orchestrate.build"):
+                    self.build(*args, **kwargs)
         if self._compiled is None:
-            self.compile()
+            with _TRACER.span("orchestrate.compile"):
+                self.compile(instrument=_TRACER.enabled)
         self._builds[self._build_key] = (self._builder, self._compiled)
         scalars = dict(self._builder.sdfg.scalars)
         node = get_function_ast(self.func)
@@ -646,7 +692,17 @@ class OrchestratedProgram:
         for name in self._builder.runtime_scalars:
             if name in bound:
                 scalars[name] = float(bound[name])
-        self._compiled(arrays=self._builder.array_of, scalars=scalars)
+        if not _TRACER.enabled:
+            self._compiled(arrays=self._builder.array_of, scalars=scalars)
+            return
+        with _TRACER.span(self._span_label()) as sp:
+            before = (
+                dict(self._compiled.kernel_times)
+                if self._compiled.instrument else None
+            )
+            self._compiled(arrays=self._builder.array_of, scalars=scalars)
+            if before is not None:
+                self._record_kernel_spans(sp, before)
 
     @property
     def kernel_times(self):

@@ -1,6 +1,11 @@
-"""Utilities: lines-of-code accounting (Table I) and timing helpers."""
+"""Utilities: lines-of-code accounting (Table I).
 
+Timing helpers moved to :mod:`repro.obs`; ``median_time`` is re-exported
+here for compatibility (``repro.util.timing`` itself is a deprecation
+shim).
+"""
+
+from repro.obs.timing import median_time
 from repro.util.loc import count_loc, loc_table
-from repro.util.timing import median_time
 
 __all__ = ["count_loc", "loc_table", "median_time"]

@@ -1,0 +1,35 @@
+"""Shared fixtures for the test suite.
+
+Tests marked ``@pytest.mark.traced`` run with ``repro.obs`` tracing
+enabled on a freshly reset default tracer; the previous tracer state
+(enabled flag and recorded span tree) is restored afterwards, so a
+``REPRO_TRACE=1 python -m pytest`` run — the traced variant of tier-1 —
+keeps its own accumulated spans across unmarked tests.
+"""
+
+import pytest
+
+from repro.obs import tracer as _tracer_mod
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "traced: run the test with repro.obs tracing enabled on a "
+        "fresh span tree (previous tracer state restored afterwards)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _traced_marker(request):
+    if request.node.get_closest_marker("traced") is None:
+        yield
+        return
+    tracer = _tracer_mod.get_tracer()
+    saved = (tracer.enabled, tracer.root, tracer._stack)
+    tracer.reset()
+    tracer.enable()
+    try:
+        yield
+    finally:
+        tracer.enabled, tracer.root, tracer._stack = saved
