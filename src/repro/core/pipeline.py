@@ -19,8 +19,11 @@ from repro.core.machine import HASWELL, P100, MachineModel
 from repro.core.perfmodel import model_sdfg_time
 from repro.core.transfer import extract_patterns, transfer_patterns
 from repro.dsl.backend_numpy import region_ranges
+from repro.lint.audit import TransformationAudit
+from repro.lint.findings import LintFinding
 from repro.sdfg.cutout import state_cutouts
 from repro.sdfg.nodes import Kernel
+from repro.sdfg.validation import validate_sdfg
 from repro.sdfg.transformations import (
     DeadKernelElimination,
     LocalStorage,
@@ -45,6 +48,9 @@ class StageResult:
     stage_seconds: float = 0.0
     #: span-tree snapshot of the stage's work (tracing enabled only)
     spans: Optional[Dict] = None
+    #: lint violations first observed after this stage's transformations
+    #: (the transformation-safety audit attributes them to the stage)
+    lint_findings: List[LintFinding] = dataclasses.field(default_factory=list)
 
 
 def prune_inactive_regions(sdfg) -> int:
@@ -95,6 +101,9 @@ class PipelineOptions:
     tune_measured: bool = False  # evaluate cutouts by execution
     max_tuning_cutouts: int = 32
     fine_tune_hooks: Sequence[Callable] = ()
+    #: re-run the lint race/overlap rules after every stage and attribute
+    #: new violations to the transformation that introduced them
+    lint_audit: bool = True
 
 
 class OptimizationPipeline:
@@ -103,6 +112,8 @@ class OptimizationPipeline:
     def __init__(self, options: Optional[PipelineOptions] = None):
         self.options = options or PipelineOptions()
         self.stages: List[StageResult] = []
+        #: transformation-safety audit (created by run() when enabled)
+        self.audit: Optional[TransformationAudit] = None
 
     # ------------------------------------------------------------------
     def _record(self, cycle: str, name: str, sdfg, baseline: float,
@@ -131,10 +142,20 @@ class OptimizationPipeline:
         Table III row carries the full span tree of how it was produced.
         """
         tracer = obs.get_tracer()
+        new_findings: List[LintFinding] = []
         with tracer.timed(f"pipeline.{name}") as timer:
             if work is not None:
                 work()
+            if self.audit is not None:
+                new_findings = self.audit.check(sdfg, name)
+                if timer.span is not None:
+                    timer.span.set("lint.new_findings", len(new_findings))
+                    if new_findings:
+                        timer.span.set(
+                            "lint.findings", [str(f) for f in new_findings]
+                        )
             result = self._record(cycle, name, sdfg, baseline, run)
+        result.lint_findings = new_findings
         result.stage_seconds = timer.seconds
         if timer.span is not None:
             result.spans = obs.snapshot(timer.span)
@@ -147,6 +168,10 @@ class OptimizationPipeline:
         seconds (used when ``options.measure`` is set).
         """
         opts = self.options
+        validate_sdfg(sdfg)  # structural invariants must hold at entry
+        if opts.lint_audit:
+            self.audit = TransformationAudit()
+            self.audit.start(sdfg)  # pre-existing findings are not charged
         baseline_time = model_sdfg_time(sdfg, opts.baseline_machine)
         self.stages.append(
             StageResult(
@@ -187,6 +212,7 @@ class OptimizationPipeline:
 
         self._stage("Cycle 2", "Transfer Tuning (FVT)", sdfg,
                     baseline_time, run, lambda: self.transfer_tune(sdfg))
+        validate_sdfg(sdfg)  # and after the final transformation stage
         return self.stages
 
     # ------------------------------------------------------------------

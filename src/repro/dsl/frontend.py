@@ -156,7 +156,25 @@ class StencilParser:
         self.scalar_locals: Dict[str, Expr] = {}
         self.computations: List[Computation] = []
         self._inline_counter = 0
+        # absolute source location: ast linenos are relative to the
+        # dedented snippet, so offset by the function's first source line
+        try:
+            self.source_file = inspect.getsourcefile(func)
+            _, first_line = inspect.getsourcelines(func)
+        except (OSError, TypeError):  # pragma: no cover - e.g. exec'd source
+            self.source_file, first_line = None, 1
+        self._lineno_base = first_line - 1
+        # while inlining a @function body, statements it emits are
+        # attributed to the *call site* line in the stencil's own source
+        self._lineno_override: Optional[int] = None
+        self._current_lineno: Optional[int] = None
         self._parse_signature()
+
+    def _abs_lineno(self, node) -> Optional[int]:
+        if self._lineno_override is not None:
+            return self._lineno_override
+        lineno = getattr(node, "lineno", None)
+        return None if lineno is None else self._lineno_base + lineno
 
     # ---- signature -----------------------------------------------------
 
@@ -209,6 +227,8 @@ class StencilParser:
             params=self.params,
             temporaries=self.temporaries,
             computations=self.computations,
+            source_file=self.source_file,
+            source_line=self._lineno_base + self.node.lineno,
         )
 
     def _parse_computation_with(self, node: ast.With) -> None:
@@ -371,6 +391,7 @@ class StencilParser:
         return name
 
     def _parse_assign(self, stmt, out, mask, region, rename, subst) -> None:
+        self._current_lineno = self._abs_lineno(stmt)
         names = self._target_names(stmt.targets[0], rename)
         if len(stmt.targets) != 1:
             raise StencilSyntaxError("chained assignment is unsupported")
@@ -379,6 +400,7 @@ class StencilParser:
             self._emit_assign(name, value, out, mask, region, rename)
 
     def _parse_augassign(self, stmt, out, mask, region, rename, subst) -> None:
+        self._current_lineno = self._abs_lineno(stmt)
         if not isinstance(stmt.target, ast.Name):
             raise StencilSyntaxError("augmented target must be a name")
         name = self._renamed(stmt.target.id, rename)
@@ -429,6 +451,7 @@ class StencilParser:
                 value=value,
                 mask=mask,
                 region=region,
+                lineno=self._current_lineno,
             )
         )
 
@@ -712,11 +735,15 @@ class StencilParser:
                     rename,
                 )
 
-        # temporarily widen the global namespace to the callee's module
+        # temporarily widen the global namespace to the callee's module;
+        # statements emitted by the inlined body are attributed to the
+        # call-site line (the callee lives in another lineno space)
         saved_globals = self.globals
         merged = dict(info.globals)
         merged.update(self.globals)
         self.globals = merged
+        saved_override = self._lineno_override
+        self._lineno_override = self._abs_lineno(call) or self._current_lineno
         try:
             body = list(info.node.body)
             if (
@@ -750,6 +777,7 @@ class StencilParser:
             )
         finally:
             self.globals = saved_globals
+            self._lineno_override = saved_override
         return ret_exprs
 
 

@@ -167,12 +167,19 @@ class Interval:
 @dataclasses.dataclass(frozen=True)
 class Assign:
     """A single stencil operation: ``target = value`` under optional
-    mask (from ``if`` lowering) and region (from ``with horizontal``)."""
+    mask (from ``if`` lowering) and region (from ``with horizontal``).
+
+    ``lineno`` is the absolute line in the stencil's source file this
+    statement was parsed from (the call site for inlined functions);
+    transformations that rewrite statements preserve it so diagnostics
+    point at user code, not at the rewritten IR.
+    """
 
     target: FieldAccess
     value: Expr
     mask: Optional[Expr] = None
     region: Optional[RegionSpec] = None
+    lineno: Optional[int] = None
 
 
 @dataclasses.dataclass
@@ -209,6 +216,9 @@ class StencilDef:
     params: List[ParamDecl]
     temporaries: Dict[str, FieldType]
     computations: List[Computation]
+    #: where the decorated definition function lives (for diagnostics)
+    source_file: Optional[str] = None
+    source_line: Optional[int] = None
 
     # ---- convenience queries -------------------------------------------
 

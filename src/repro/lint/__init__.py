@@ -1,0 +1,39 @@
+"""repro.lint — semantic static analysis for stencils and SDFGs.
+
+Two layers mirror the toolchain: :func:`lint_stencil` checks what the
+user wrote (DSL rules ``D1xx``); :func:`lint_sdfg` checks what the
+toolchain is about to execute (SDFG rules ``S2xx``, a race detector over
+expanded map scopes). :class:`TransformationAudit` diffs the SDFG rules
+across pipeline stages so a transformation that introduces a violation is
+named in the report. ``python -m repro.lint <module-or-path>`` runs both
+layers from the shell.
+
+Rule catalog: ``docs/static_analysis.md``.
+"""
+
+from repro.lint.audit import AUDIT_RULES, TransformationAudit
+from repro.lint.dsl_rules import lint_stencil
+from repro.lint.findings import (
+    SEVERITIES,
+    LintFinding,
+    SuppressionIndex,
+    apply_suppressions,
+    max_severity,
+    parse_suppressions,
+    sort_findings,
+)
+from repro.lint.sdfg_rules import lint_sdfg
+
+__all__ = [
+    "AUDIT_RULES",
+    "LintFinding",
+    "SEVERITIES",
+    "SuppressionIndex",
+    "TransformationAudit",
+    "apply_suppressions",
+    "lint_sdfg",
+    "lint_stencil",
+    "max_severity",
+    "parse_suppressions",
+    "sort_findings",
+]

@@ -1,0 +1,160 @@
+"""``python -m repro.lint`` — lint stencil modules and SDFGs from the shell.
+
+Targets are dotted module names (``repro.fv3.stencils.xppm``) or
+filesystem paths; a directory is linted recursively (every ``*.py`` file
+except ``_``-prefixed ones). Each module is imported and every
+``StencilObject`` and ``SDFG`` found in its namespace is linted.
+
+Exit status is 1 if any unsuppressed finding at or above ``--fail-on``
+(default: error) is reported, 0 otherwise — wired for CI.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import importlib.util
+import sys
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+from repro.lint.dsl_rules import lint_stencil
+from repro.lint.findings import (
+    SEVERITIES,
+    LintFinding,
+    SuppressionIndex,
+    sort_findings,
+)
+from repro.lint.sdfg_rules import lint_sdfg
+
+
+def _iter_module_files(path: Path) -> Iterable[Path]:
+    if path.is_dir():
+        yield from sorted(
+            p
+            for p in path.rglob("*.py")
+            if not p.name.startswith("_")
+        )
+    else:
+        yield path
+
+
+def _dotted_name(path: Path) -> str:
+    """Derive the importable dotted name of a file inside a package, so
+    the module is imported under its real identity (one shared instance
+    with everything else importing it)."""
+    parts = [path.stem]
+    parent = path.parent
+    while (parent / "__init__.py").exists():
+        parts.append(parent.name)
+        parent = parent.parent
+    return ".".join(reversed(parts))
+
+
+def _load_module(target: str):
+    path = Path(target)
+    if path.exists():
+        name = _dotted_name(path.resolve())
+        try:
+            return importlib.import_module(name)
+        except ImportError:
+            spec = importlib.util.spec_from_file_location(
+                name or path.stem, path
+            )
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+            return module
+    return importlib.import_module(target)
+
+
+def collect_targets(module) -> Tuple[List, List]:
+    """(stencils, sdfgs) found in a module namespace."""
+    from repro.dsl.stencil import StencilObject
+    from repro.sdfg.graph import SDFG
+
+    stencils, sdfgs, seen = [], [], set()
+    for name in sorted(vars(module)):
+        obj = vars(module)[name]
+        if id(obj) in seen:
+            continue
+        if isinstance(obj, StencilObject):
+            stencils.append(obj)
+            seen.add(id(obj))
+        elif isinstance(obj, SDFG):
+            sdfgs.append(obj)
+            seen.add(id(obj))
+    return stencils, sdfgs
+
+
+def lint_target(target: str) -> List[LintFinding]:
+    """Lint one module name or path; returns unsorted, unsuppressed-flagged
+    findings."""
+    findings: List[LintFinding] = []
+    path = Path(target)
+    if path.exists() and path.is_dir():
+        for f in _iter_module_files(path):
+            findings.extend(lint_target(str(f)))
+        return findings
+    module = _load_module(target)
+    stencils, sdfgs = collect_targets(module)
+    for stencil in stencils:
+        findings.extend(lint_stencil(stencil))
+    for sdfg in sdfgs:
+        findings.extend(lint_sdfg(sdfg))
+    return findings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="semantic static analysis for stencils and SDFGs",
+    )
+    parser.add_argument(
+        "targets",
+        nargs="+",
+        help="module names or paths (directories are linted recursively)",
+    )
+    parser.add_argument(
+        "--fail-on",
+        choices=SEVERITIES,
+        default="error",
+        help="minimum severity that fails the run (default: error)",
+    )
+    parser.add_argument(
+        "--show-suppressed",
+        action="store_true",
+        help="also print findings silenced by # lint: ignore[...] comments",
+    )
+    args = parser.parse_args(argv)
+
+    findings: List[LintFinding] = []
+    for target in args.targets:
+        try:
+            findings.extend(lint_target(target))
+        except (ImportError, OSError, SyntaxError) as exc:
+            print(f"error: cannot lint {target!r}: {exc}", file=sys.stderr)
+            return 2
+    findings = sort_findings(SuppressionIndex().apply(findings))
+
+    shown = suppressed = 0
+    for f in findings:
+        if f.suppressed:
+            suppressed += 1
+            if args.show_suppressed:
+                print(f)
+        else:
+            shown += 1
+            print(f)
+
+    threshold = SEVERITIES.index(args.fail_on)
+    failing = sum(
+        1
+        for f in findings
+        if not f.suppressed and SEVERITIES.index(f.severity) <= threshold
+    )
+    print(
+        f"{shown} finding{'s' if shown != 1 else ''}"
+        f" ({suppressed} suppressed), {failing} at or above "
+        f"{args.fail_on!r}"
+    )
+    return 1 if failing else 0

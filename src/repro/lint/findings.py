@@ -1,0 +1,146 @@
+"""Structured lint diagnostics and suppression handling.
+
+Every rule reports :class:`LintFinding` objects — severity, rule id,
+subject (stencil or SDFG name), source location and a fix hint — rather
+than raising, so a whole module can be audited in one pass and findings
+can be diffed across transformation stages (the pipeline's
+transformation-safety audit keys on :meth:`LintFinding.key`).
+
+Suppression is per source line: a trailing ``# lint: ignore[D105]``
+comment (comma-separated ids, or ``*`` for all) on the line a finding
+points at marks it suppressed. Suppressed findings are kept — reports
+show them dimmed and the CLI does not count them toward the exit code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.util.loc import SourceLocation
+
+#: Severity levels, most severe first.
+SEVERITIES = ("error", "warning", "info")
+
+_SEVERITY_RANK = {s: i for i, s in enumerate(SEVERITIES)}
+
+
+@dataclasses.dataclass(frozen=True)
+class LintFinding:
+    """One diagnostic produced by a lint rule."""
+
+    rule: str  # e.g. "D101"
+    name: str  # e.g. "read-before-write"
+    severity: str  # "error" | "warning" | "info"
+    subject: str  # stencil / SDFG / kernel the finding is about
+    message: str
+    location: SourceLocation = SourceLocation()
+    hint: Optional[str] = None
+    suppressed: bool = False
+
+    def __post_init__(self):
+        if self.severity not in _SEVERITY_RANK:
+            raise ValueError(f"unknown severity {self.severity!r}")
+
+    def key(self) -> Tuple[str, str, str]:
+        """Stable identity used to diff findings across pipeline stages.
+
+        Deliberately excludes the message (ranges in it may legally change
+        as transformations reshape kernels without introducing new bugs).
+        """
+        return (self.rule, self.subject, str(self.location))
+
+    def __str__(self) -> str:
+        where = f"{self.location}: " if self.location.known else ""
+        sup = " (suppressed)" if self.suppressed else ""
+        return (
+            f"{where}{self.severity} {self.rule} [{self.name}] "
+            f"{self.subject}: {self.message}{sup}"
+        )
+
+
+def sort_findings(findings: Iterable[LintFinding]) -> List[LintFinding]:
+    """Most severe first; then by location for stable output."""
+    return sorted(
+        findings,
+        key=lambda f: (
+            _SEVERITY_RANK[f.severity],
+            f.location.file or "",
+            f.location.line or 0,
+            f.rule,
+        ),
+    )
+
+
+def max_severity(findings: Iterable[LintFinding]) -> Optional[str]:
+    """The most severe unsuppressed severity present, or None."""
+    best: Optional[int] = None
+    for f in findings:
+        if f.suppressed:
+            continue
+        rank = _SEVERITY_RANK[f.severity]
+        best = rank if best is None else min(best, rank)
+    return None if best is None else SEVERITIES[best]
+
+
+# ---------------------------------------------------------------------------
+# Suppressions: `# lint: ignore[D101,S201]` / `# lint: ignore[*]`
+# ---------------------------------------------------------------------------
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([^\]]*)\]")
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-based line numbers to the rule ids suppressed on that line."""
+    out: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        m = _IGNORE_RE.search(line)
+        if m:
+            rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            if rules:
+                out[lineno] = rules
+    return out
+
+
+class SuppressionIndex:
+    """Per-file cache of ``# lint: ignore[...]`` comments."""
+
+    def __init__(self):
+        self._by_file: Dict[str, Dict[int, Set[str]]] = {}
+
+    def _load(self, path: str) -> Dict[int, Set[str]]:
+        cached = self._by_file.get(path)
+        if cached is None:
+            try:
+                source = Path(path).read_text()
+            except OSError:
+                cached = {}
+            else:
+                cached = parse_suppressions(source)
+            self._by_file[path] = cached
+        return cached
+
+    def is_suppressed(self, finding: LintFinding) -> bool:
+        loc = finding.location
+        if not loc.known:
+            return False
+        rules = self._load(loc.file).get(loc.line)
+        if not rules:
+            return False
+        return "*" in rules or finding.rule in rules
+
+    def apply(self, findings: Sequence[LintFinding]) -> List[LintFinding]:
+        """Return findings with the ``suppressed`` flag resolved."""
+        return [
+            dataclasses.replace(f, suppressed=True)
+            if self.is_suppressed(f)
+            else f
+            for f in findings
+        ]
+
+
+def apply_suppressions(findings: Sequence[LintFinding]) -> List[LintFinding]:
+    """Convenience wrapper: resolve suppressions with a fresh index."""
+    return SuppressionIndex().apply(findings)

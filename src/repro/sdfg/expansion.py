@@ -14,6 +14,7 @@ critical path.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import Dict, List, Tuple
 
 from repro.dsl.extents import Extent
@@ -45,7 +46,8 @@ def _rename_expr(expr, field_map: Dict[str, str], scalar_map: Dict[str, str]):
 
 
 def _rename_stmt(stmt: Assign, field_map, scalar_map) -> Assign:
-    return Assign(
+    return dataclasses.replace(
+        stmt,
         target=FieldAccess(
             field_map.get(stmt.target.name, stmt.target.name), stmt.target.offset
         ),
@@ -55,7 +57,6 @@ def _rename_stmt(stmt: Assign, field_map, scalar_map) -> Assign:
             if stmt.mask is not None
             else None
         ),
-        region=stmt.region,
     )
 
 
@@ -165,6 +166,8 @@ def expand_node(node: StencilComputation, sdfg) -> List[Kernel]:
                         dict(origins),
                     )
                 )
+    for kernel in kernels:
+        kernel.source_file = sd.source_file
     return kernels
 
 

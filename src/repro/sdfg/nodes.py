@@ -205,6 +205,9 @@ class Kernel(Node):
         #: labels of the original stencil computations folded into this
         #: kernel by fusion transformations (used by transfer tuning)
         self.constituents: List[str] = [label]
+        #: source file of the stencil definition this kernel was expanded
+        #: from (diagnostics); statement linenos refer into this file
+        self.source_file: Optional[str] = None
 
     def origin_of(self, name: str) -> Tuple[int, int, int]:
         return self.origins.get(name, self.origin)
@@ -467,6 +470,7 @@ class Kernel(Node):
     def copy(self) -> "Kernel":
         dup = self._copy_impl()
         dup.constituents = list(self.constituents)
+        dup.source_file = self.source_file
         return dup
 
     def _copy_impl(self) -> "Kernel":

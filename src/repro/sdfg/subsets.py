@@ -67,6 +67,8 @@ class Range:
         return Range(tuple(dims))
 
     def covers(self, other: "Range") -> bool:
+        if self.ndim != other.ndim:
+            raise ValueError("rank mismatch in range covers")
         return all(
             a0 <= b0 and b1 <= a1
             for (a0, a1), (b0, b1) in zip(self.dims, other.dims)

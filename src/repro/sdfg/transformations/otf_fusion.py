@@ -11,8 +11,9 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+import dataclasses
+
 from repro.dsl.ir import (
-    Assign,
     Expr,
     FieldAccess,
     expr_reads,
@@ -96,7 +97,15 @@ class OTFMapFusion(Transformation):
         # producer must cover every level/extent the consumer reads
         reads, _ = b.access_subsets(lambda n: sdfg.arrays[n].axes)
         _, writes = a.access_subsets(lambda n: sdfg.arrays[n].axes)
-        if t not in writes or not writes[t].covers(reads[t]):
+        if t not in writes or t not in reads:
+            # region/interval resolution can deactivate every access of t
+            # on this rank: there is no dataflow to fuse over
+            return False
+        if writes[t].intersection(reads[t]) is None:
+            # disjoint subsets: the consumer reads parts of t this producer
+            # never wrote — inlining its expression would fabricate values
+            return False
+        if not writes[t].covers(reads[t]):
             return False
         # no conflicting kernel in between may redefine a's inputs
         a_inputs = set(a.read_fields())
@@ -136,11 +145,10 @@ class OTFMapFusion(Transformation):
         for section in b.sections:
             section.statements = [
                 (
-                    Assign(
-                        target=s.target,
+                    dataclasses.replace(
+                        s,
                         value=rewrite(s.value),
                         mask=rewrite(s.mask) if s.mask is not None else None,
-                        region=s.region,
                     ),
                     ext,
                 )

@@ -9,9 +9,10 @@ dropping from 511.16 µs to 129.02 µs (99.68% modeled utilization after).
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List
 
-from repro.dsl.ir import Assign, BinOp, Call, Expr, Literal, map_expr, walk_expr
+from repro.dsl.ir import BinOp, Call, Expr, Literal, map_expr, walk_expr
 from repro.sdfg.nodes import Kernel
 from repro.sdfg.transformations.base import Transformation
 
@@ -75,11 +76,10 @@ class PowerExpansion(Transformation):
         for section in node.sections:
             section.statements = [
                 (
-                    Assign(
-                        target=s.target,
+                    dataclasses.replace(
+                        s,
                         value=reduce_powers(s.value),
                         mask=reduce_powers(s.mask) if s.mask is not None else None,
-                        region=s.region,
                     ),
                     ext,
                 )

@@ -8,9 +8,10 @@ redirected to A, provided A is not redefined while B is still live.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Tuple
 
-from repro.dsl.ir import Assign, FieldAccess, map_expr
+from repro.dsl.ir import FieldAccess, map_expr
 from repro.sdfg.nodes import Kernel
 from repro.sdfg.transformations.base import (
     Transformation,
@@ -103,11 +104,10 @@ class RedundantArrayRemoval(Transformation):
                 for section in node.sections:
                     new_stmts = []
                     for s, ext in section.statements:
-                        ns = Assign(
-                            target=s.target,
+                        ns = dataclasses.replace(
+                            s,
                             value=map_expr(s.value, repl),
                             mask=map_expr(s.mask, repl) if s.mask is not None else None,
-                            region=s.region,
                         )
                         changed = changed or ns is not s
                         new_stmts.append((ns, ext))

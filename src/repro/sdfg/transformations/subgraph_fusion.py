@@ -10,6 +10,7 @@ an inter-thread barrier on a GPU and are handled by OTF fusion instead.
 
 from __future__ import annotations
 
+import dataclasses
 from typing import List, Tuple
 
 from repro.dsl.ir import FieldAccess, expr_reads, map_expr
@@ -21,13 +22,62 @@ from repro.sdfg.transformations.base import (
 )
 
 
-def _reads_written_at_offset(a: Kernel, b: Kernel) -> bool:
-    """Does b read any field written by a at a nonzero horizontal offset?"""
-    written = set(a.written_fields())
-    for stmt, _ in b.statements():
-        for acc in expr_reads(stmt):
-            if acc.name in written and (acc.offset[0] != 0 or acc.offset[1] != 0):
-                return True
+def _concurrent_offset(order: str, offset) -> bool:
+    """Is this access offset along an axis the fused map executes
+    concurrently? I/J are always map dimensions; K joins them when the
+    iteration policy is PARALLEL."""
+    di, dj, dk = offset
+    return (di, dj) != (0, 0) or (order == "PARALLEL" and dk != 0)
+
+
+def _read_range(sdfg, kernel: Kernel, name: str, offset, ranges):
+    """Array-coordinate range one read touches (as access_subsets does)."""
+    axes = sdfg.arrays[name].axes
+    origin = kernel.origin_of(name)
+    irange, jrange, krange = ranges
+    di, dj, dk = offset
+    dims = []
+    if "I" in axes:
+        dims.append((origin[0] + irange[0] + di, origin[0] + irange[1] + di))
+    if "J" in axes:
+        dims.append((origin[1] + jrange[0] + dj, origin[1] + jrange[1] + dj))
+    if "K" in axes:
+        dims.append((origin[2] + krange[0] + dk, origin[2] + krange[1] + dk))
+    from repro.sdfg.subsets import Range
+
+    return Range.of(*dims)
+
+
+def _offset_hazard(sdfg, writer: Kernel, reader: Kernel, order: str) -> bool:
+    """Would one map scope hold a cross-thread dependency: the reader
+    accessing, at a concurrent-axis offset, a range the writer writes?
+
+    Accesses whose ranges are provably disjoint (``Range.intersection``
+    returns None on empty overlap) are no dependency at all and do not
+    block fusion.
+    """
+    written = set(writer.written_fields())
+    if not written:
+        return False
+    _, write_subsets = writer.access_subsets(lambda n: sdfg.arrays[n].axes)
+    for section in reader.sections:
+        for stmt, ext in section.statements:
+            ranges = reader._stmt_ranges(stmt, ext, section.interval)
+            if ranges is None:
+                continue
+            for acc in expr_reads(stmt):
+                if acc.name not in written:
+                    continue
+                if not _concurrent_offset(order, acc.offset):
+                    continue
+                write_rng = write_subsets.get(acc.name)
+                if write_rng is None:
+                    return True  # writes with unknowable ranges: assume hit
+                read_rng = _read_range(sdfg, reader, acc.name, acc.offset, ranges)
+                if read_rng.ndim != write_rng.ndim:
+                    return True
+                if read_rng.intersection(write_rng) is not None:
+                    return True
     return False
 
 
@@ -78,7 +128,12 @@ class SubgraphFusion(Transformation):
             return False
         if not can_become_adjacent(state, i, j):
             return False
-        return not _reads_written_at_offset(a, b)
+        # the consumer reading producer output at a concurrent-axis offset
+        # (RAW), or the producer reading a range the consumer overwrites
+        # (WAR), would need an inter-thread barrier inside one map scope
+        return not _offset_hazard(sdfg, a, b, a.order) and not _offset_hazard(
+            sdfg, b, a, a.order
+        )
 
     def apply(self, sdfg, state, candidate) -> None:
         i, j = candidate
@@ -105,18 +160,16 @@ def _rename_kernel_fields(kernel: Kernel, rename) -> None:
             return FieldAccess(rename[node.name], node.offset)
         return node
 
-    from repro.dsl.ir import Assign
-
     for section in kernel.sections:
         section.statements = [
             (
-                Assign(
+                dataclasses.replace(
+                    s,
                     target=FieldAccess(
                         rename.get(s.target.name, s.target.name), s.target.offset
                     ),
                     value=map_expr(s.value, repl),
                     mask=map_expr(s.mask, repl) if s.mask is not None else None,
-                    region=s.region,
                 ),
                 ext,
             )

@@ -12,10 +12,31 @@ source lines; docstrings excluded (they are documentation, not code).
 
 from __future__ import annotations
 
+import dataclasses
 import io
 import tokenize
 from pathlib import Path
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class SourceLocation:
+    """A file:line position in user source, as attached to diagnostics.
+
+    Either part may be unknown (``None``) — e.g. IR built programmatically
+    rather than parsed from a decorated function.
+    """
+
+    file: Optional[str] = None
+    line: Optional[int] = None
+
+    def __str__(self) -> str:
+        name = self.file or "<unknown>"
+        return f"{name}:{self.line}" if self.line else name
+
+    @property
+    def known(self) -> bool:
+        return self.file is not None and self.line is not None
 
 
 def count_loc(path) -> int:

@@ -1,0 +1,120 @@
+"""SDFG builders with (and without) seeded graph-level defects.
+
+Shared by the SDFG-rule tests and the transformation-audit tests.
+"""
+
+from repro.dsl.extents import Extent
+from repro.sdfg import SDFG
+from repro.sdfg.nodes import KernelSection, StencilComputation
+
+from tests.lint import stencil_defects as defects
+
+SHAPE = (10, 8, 4)
+DOMAIN = (8, 6, 4)
+ORIGIN = (1, 1, 0)
+
+
+def producer_consumer_sdfg(extend_producer: bool = True) -> SDFG:
+    """producer (a -> t, transient) then consumer (t[-1]/t[+1] -> out).
+
+    With ``extend_producer`` the producer domain is widened by one point in
+    i, covering the consumer's offset reads (the healthy configuration).
+    Without it the program is still in-bounds but the consumer's reads are
+    not covered by what the producer writes — the precondition an illegal
+    fusion violates.
+    """
+    sdfg = SDFG("prog")
+    sdfg.add_array("a", SHAPE)
+    sdfg.add_array("out", SHAPE)
+    sdfg.add_transient("t", SHAPE)
+    state = sdfg.add_state("s0")
+    if extend_producer:
+        prod_domain = (DOMAIN[0] + 2, DOMAIN[1], DOMAIN[2])
+        prod_origin = (ORIGIN[0] - 1, ORIGIN[1], ORIGIN[2])
+    else:
+        prod_domain, prod_origin = DOMAIN, ORIGIN
+    state.add(
+        StencilComputation(
+            defects.producer.definition,
+            defects.producer.extents,
+            mapping={"a": "a", "t": "t"},
+            domain=prod_domain,
+            origin=prod_origin,
+        )
+    )
+    state.add(
+        StencilComputation(
+            defects.consumer.definition,
+            defects.consumer.extents,
+            mapping={"t": "t", "out": "out"},
+            domain=DOMAIN,
+            origin=ORIGIN,
+        )
+    )
+    sdfg.expand_library_nodes()
+    return sdfg
+
+
+def merge_kernels_illegally(sdfg: SDFG) -> None:
+    """Glue the consumer's sections onto the producer kernel without
+    enlarging producer extents — the seeded illegal fusion."""
+    state = sdfg.states[0]
+    prod, cons = state.kernels
+    prod.sections = prod.sections + cons.sections
+    prod.constituents = prod.constituents + cons.constituents
+    state.nodes = [n for n in state.nodes if n is not cons]
+
+
+def chained_sdfg() -> SDFG:
+    """Healthy two-kernel chain from one stencil: extent inference made
+    the producer write a superset of the consumer's offset reads."""
+    sdfg = SDFG("prog")
+    sdfg.add_array("a", SHAPE)
+    sdfg.add_array("out", SHAPE)
+    state = sdfg.add_state("s0")
+    state.add(
+        StencilComputation(
+            defects.chained.definition,
+            defects.chained.extents,
+            mapping={"a": "a", "out": "out"},
+            domain=DOMAIN,
+            origin=ORIGIN,
+        )
+    )
+    sdfg.expand_library_nodes()
+    return sdfg
+
+
+def fuse_chained_illegally(sdfg: SDFG) -> None:
+    """Merge the chain into one kernel AND drop the producer's extent
+    enlargement — the real shape of an illegal fusion: producers are no
+    longer recomputed over the consumer's read halo."""
+    state = sdfg.states[0]
+    prod, cons = state.kernels
+    prod.sections = [
+        KernelSection(
+            sec.interval, [(stmt, Extent.zero()) for stmt, _ in sec.statements]
+        )
+        for sec in prod.sections
+    ] + cons.sections
+    prod.constituents = prod.constituents + cons.constituents
+    state.nodes = [n for n in state.nodes if n is not cons]
+
+
+def race_sdfg() -> SDFG:
+    """One kernel with a write-after-read offset hazard (from war_race)."""
+    sdfg = SDFG("race")
+    sdfg.add_array("a", SHAPE)
+    sdfg.add_array("out", SHAPE)
+    state = sdfg.add_state("s0")
+    state.add(
+        StencilComputation(
+            defects.war_race.definition,
+            defects.war_race.extents,
+            mapping={"a": "a", "out": "out"},
+            domain=DOMAIN,
+            origin=ORIGIN,
+        )
+    )
+    sdfg.expand_library_nodes()
+    return sdfg

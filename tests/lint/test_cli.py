@@ -1,0 +1,84 @@
+"""CLI behaviour: exit codes, output format, suppressions, targets."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.lint import SuppressionIndex, lint_stencil
+from repro.lint.cli import main
+
+from tests.lint import stencil_defects as defects
+from tests.lint.test_dsl_rules import FIXTURE
+
+
+def test_cli_fails_on_seeded_defects(capsys):
+    assert main([str(FIXTURE)]) == 1
+    out = capsys.readouterr().out
+    assert "D101" in out and "D105" in out
+    assert str(FIXTURE) in out
+    assert "at or above 'error'" in out
+
+
+def test_cli_accepts_module_names(capsys):
+    assert main(["repro.fv3.stencils.xppm"]) == 0
+    assert "0 at or above 'error'" in capsys.readouterr().out
+
+
+def test_cli_fv3_stencil_suite_is_clean(capsys):
+    import repro
+
+    stencils_dir = Path(repro.__file__).parent / "fv3" / "stencils"
+    assert main([str(stencils_dir)]) == 0
+
+
+def test_cli_unknown_target_exits_2(capsys):
+    assert main(["no.such.module"]) == 2
+    assert "cannot lint" in capsys.readouterr().err
+
+
+def test_cli_fail_on_warning(tmp_path, capsys):
+    mod = tmp_path / "warn_only.py"
+    mod.write_text(
+        "from repro.dsl import Field, PARALLEL, computation, interval, stencil\n"
+        "\n\n@stencil\ndef w(a: Field, out: Field):\n"
+        "    with computation(PARALLEL), interval(...):\n"
+        "        dead = a * 3.0\n"
+        "        out = a\n"
+    )
+    assert main([str(mod)]) == 0
+    assert main([str(mod), "--fail-on", "warning"]) == 1
+    out = capsys.readouterr().out
+    assert "D106" in out
+
+
+def test_cli_directory_skips_underscore_files(tmp_path, capsys):
+    (tmp_path / "_hidden.py").write_text("raise RuntimeError('never')\n")
+    (tmp_path / "ok.py").write_text("x = 1\n")
+    assert main([str(tmp_path)]) == 0
+
+
+def test_suppression_comment_silences_finding():
+    findings = SuppressionIndex().apply(lint_stencil(defects.suppressed_race))
+    d105 = [f for f in findings if f.rule == "D105"]
+    assert len(d105) == 1 and d105[0].suppressed
+    # the identical unsuppressed defect stays live
+    live = SuppressionIndex().apply(lint_stencil(defects.war_race))
+    assert [f.suppressed for f in live if f.rule == "D105"] == [False]
+
+
+def test_cli_counts_suppressed_findings(capsys):
+    main([str(FIXTURE)])
+    out = capsys.readouterr().out
+    # suppressed_race's D105 is counted but not failing, and hidden by
+    # default
+    assert "suppressed)" in out
+    import re
+
+    m = re.search(r"\((\d+) suppressed\)", out)
+    assert m and int(m.group(1)) >= 1
+
+
+def test_cli_show_suppressed_flag(capsys):
+    main([str(FIXTURE), "--show-suppressed"])
+    out = capsys.readouterr().out
+    assert "(suppressed)" in out

@@ -1,0 +1,122 @@
+"""DSL-layer rules: every seeded defect fires with the right id, severity
+and source location; the healthy FV3 stencil suite stays clean."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.dsl.extents import compute_extents
+from repro.lint import lint_stencil
+
+from tests.lint import stencil_defects as defects
+
+FIXTURE = Path(defects.__file__).resolve()
+
+
+def mark_line(marker: str) -> int:
+    tag = f"MARK:{marker}"
+    for lineno, line in enumerate(FIXTURE.read_text().splitlines(), 1):
+        if line.rstrip().endswith(tag):
+            return lineno
+    raise AssertionError(f"no line tagged {tag}")
+
+
+def only(findings, rule):
+    hits = [f for f in findings if f.rule == rule]
+    assert hits, f"expected a {rule} finding, got {findings}"
+    return hits
+
+
+def test_d101_future_level_read_forward():
+    (f,) = only(lint_stencil(defects.future_read), "D101")
+    assert f.severity == "error"
+    assert f.name == "read-before-write"
+    assert "tmp" in f.message and "FORWARD" in f.message
+    assert f.location.file == str(FIXTURE)
+    assert f.location.line == mark_line("D101")
+
+
+def test_d101_future_level_read_backward():
+    (f,) = only(lint_stencil(defects.backward_future_read), "D101")
+    assert f.location.line == mark_line("D101-backward")
+
+
+def test_d102_interval_overlap():
+    (f,) = only(lint_stencil(defects.interval_overlap), "D102")
+    assert f.severity == "warning"
+    assert "'out'" in f.message
+    assert f.location.line == mark_line("D102")
+
+
+def test_d103_interval_gap():
+    (f,) = only(lint_stencil(defects.interval_gap), "D103")
+    assert f.severity == "warning"
+    assert f.location.line == mark_line("D103")
+
+
+def test_d104_stale_extents():
+    stale = compute_extents(defects.dead_and_unused.definition)
+    findings = lint_stencil(defects.war_race.definition, extents=stale)
+    assert only(findings, "D104")[0].severity == "error"
+
+
+def test_d104_silent_when_extents_match():
+    findings = lint_stencil(defects.carried_solver)
+    assert not [f for f in findings if f.rule == "D104"]
+
+
+def test_d105_war_race():
+    (f,) = only(lint_stencil(defects.war_race), "D105")
+    assert f.severity == "error"
+    assert "(1, 0, 0)" in f.message
+    assert f.location.line == mark_line("D105")
+
+
+def test_d105_same_statement_self_race():
+    (f,) = only(lint_stencil(defects.self_race), "D105")
+    assert f.location.line == mark_line("D105-self")
+
+
+def test_d106_dead_store():
+    (f,) = only(lint_stencil(defects.dead_and_unused), "D106")
+    assert f.severity == "warning"
+    assert "'dead'" in f.message
+    assert f.location.line == mark_line("D106")
+
+
+def test_d107_unused_parameter():
+    (f,) = only(lint_stencil(defects.dead_and_unused), "D107")
+    assert f.severity == "warning"
+    assert "'unused'" in f.message
+    assert f.location.line == mark_line("D107")
+
+
+def test_healthy_carried_solver_is_clean():
+    assert lint_stencil(defects.carried_solver) == []
+
+
+@pytest.mark.parametrize(
+    "module_name",
+    [
+        "xppm",
+        "yppm",
+        "riem_solver_c",
+        "delnflux",
+        "remapping",
+        "d_sw",
+        "c_sw",
+        "fvtp2d",
+        "tracer2d",
+        "basic_ops",
+    ],
+)
+def test_fv3_stencil_modules_are_clean(module_name):
+    import importlib
+
+    from repro.dsl.stencil import StencilObject
+
+    module = importlib.import_module(f"repro.fv3.stencils.{module_name}")
+    for obj in vars(module).values():
+        if isinstance(obj, StencilObject):
+            findings = [f for f in lint_stencil(obj) if f.severity == "error"]
+            assert findings == [], f"{module_name}.{obj.name}: {findings}"

@@ -1,0 +1,127 @@
+"""LintFinding mechanics: severities, ordering, keys, suppressions."""
+
+import pytest
+
+from repro.lint import (
+    LintFinding,
+    SEVERITIES,
+    SuppressionIndex,
+    max_severity,
+    parse_suppressions,
+    sort_findings,
+)
+from repro.util.loc import SourceLocation
+
+
+def _f(rule="D101", severity="error", line=10, **kw):
+    kw.setdefault("name", "some-rule")
+    kw.setdefault("subject", "stencil")
+    kw.setdefault("message", "msg")
+    return LintFinding(
+        rule=rule,
+        severity=severity,
+        location=SourceLocation("file.py", line),
+        **kw,
+    )
+
+
+def test_severities_are_ordered_most_severe_first():
+    assert SEVERITIES == ("error", "warning", "info")
+
+
+def test_unknown_severity_rejected():
+    with pytest.raises(ValueError, match="unknown severity"):
+        _f(severity="fatal")
+
+
+def test_sort_by_severity_then_location():
+    a = _f(severity="warning", line=1)
+    b = _f(severity="error", line=99)
+    c = _f(severity="error", line=2)
+    assert sort_findings([a, b, c]) == [c, b, a]
+
+
+def test_max_severity_ignores_suppressed():
+    assert max_severity([]) is None
+    assert max_severity([_f(severity="warning")]) == "warning"
+    assert (
+        max_severity([_f(severity="warning"), _f(severity="error")])
+        == "error"
+    )
+    import dataclasses
+
+    silenced = dataclasses.replace(_f(severity="error"), suppressed=True)
+    assert max_severity([silenced, _f(severity="warning")]) == "warning"
+
+
+def test_key_excludes_message():
+    a = _f(message="range [0:3]")
+    b = _f(message="range [0:9]")
+    assert a.key() == b.key()
+
+
+def test_str_contains_location_rule_and_subject():
+    text = str(_f())
+    assert "file.py:10" in text
+    assert "D101" in text
+    assert "stencil" in text
+
+
+def test_parse_suppressions():
+    src = "x = 1\ny = 2  # lint: ignore[D101, S201]\nz = 3  # lint: ignore[*]\n"
+    sup = parse_suppressions(src)
+    assert sup == {2: {"D101", "S201"}, 3: {"*"}}
+
+
+def test_suppression_index_applies_by_file_and_line(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("a = 1\nb = 2  # lint: ignore[D105]\n")
+    idx = SuppressionIndex()
+    hit = _f(rule="D105", line=2)
+    hit = LintFinding(
+        rule="D105",
+        name="r",
+        severity="error",
+        subject="s",
+        message="m",
+        location=SourceLocation(str(path), 2),
+    )
+    miss_rule = LintFinding(
+        rule="D101",
+        name="r",
+        severity="error",
+        subject="s",
+        message="m",
+        location=SourceLocation(str(path), 2),
+    )
+    miss_line = LintFinding(
+        rule="D105",
+        name="r",
+        severity="error",
+        subject="s",
+        message="m",
+        location=SourceLocation(str(path), 1),
+    )
+    out = idx.apply([hit, miss_rule, miss_line])
+    assert [f.suppressed for f in out] == [True, False, False]
+
+
+def test_wildcard_suppression(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("a = 1  # lint: ignore[*]\n")
+    f = LintFinding(
+        rule="S203",
+        name="r",
+        severity="error",
+        subject="s",
+        message="m",
+        location=SourceLocation(str(path), 1),
+    )
+    assert SuppressionIndex().apply([f])[0].suppressed
+
+
+def test_unknown_location_never_suppressed():
+    f = LintFinding(
+        rule="S203", name="r", severity="error", subject="s", message="m"
+    )
+    assert not SuppressionIndex().apply([f])[0].suppressed

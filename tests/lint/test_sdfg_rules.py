@@ -1,0 +1,120 @@
+"""SDFG-layer rules: seeded graph defects fire with the right rule id,
+subject and source location; healthy graphs stay clean."""
+
+from pathlib import Path
+
+from repro.lint import lint_sdfg
+
+from tests.lint import stencil_defects as defects
+from tests.lint.graph_defects import (
+    chained_sdfg,
+    fuse_chained_illegally,
+    merge_kernels_illegally,
+    producer_consumer_sdfg,
+    race_sdfg,
+)
+from tests.lint.test_dsl_rules import FIXTURE, mark_line, only
+
+
+def test_healthy_producer_consumer_is_clean():
+    assert lint_sdfg(producer_consumer_sdfg()) == []
+
+
+def test_s201_kernel_race_with_overlap_evidence():
+    (f,) = only(lint_sdfg(race_sdfg()), "S201")
+    assert f.severity == "error"
+    assert f.name == "kernel-race"
+    assert "overlap" in f.message
+    assert f.location.file == str(FIXTURE)
+    assert f.location.line == mark_line("D105")  # same seeded read line
+
+
+def test_s202_illegal_fusion_uncovered_read():
+    sdfg = chained_sdfg()
+    assert lint_sdfg(sdfg) == []  # extent inference covered the reads
+    fuse_chained_illegally(sdfg)
+    findings = only(lint_sdfg(sdfg), "S202")
+    assert len(findings) == 2  # t[-1,0,0] and t[1,0,0]
+    for f in findings:
+        assert f.severity == "error"
+        assert f.name == "uncovered-read"
+        assert "illegal fusion" in f.message
+        assert f.location.file == str(FIXTURE)
+        assert f.location.line == mark_line("chained-read")
+    # and no out-of-bounds noise: the defect is purely a coverage one
+    assert not [f for f in lint_sdfg(sdfg) if f.rule == "S203"]
+
+
+def test_s202_uncovered_cross_kernel_read():
+    """An uncovered fringe read is flagged even across kernels: with no
+    producer-domain extension the consumer genuinely reads uninitialized
+    transient cells."""
+    sdfg = producer_consumer_sdfg(extend_producer=False)
+    pre = only(lint_sdfg(sdfg), "S202")
+    assert len(pre) == 2
+    merge_kernels_illegally(sdfg)
+    post = only(lint_sdfg(sdfg), "S202")
+    assert len(post) == 2
+
+
+def test_s203_out_of_bounds_as_findings_not_exceptions():
+    sdfg = producer_consumer_sdfg()
+    sdfg.arrays["out"].shape = (4, 4, 4)
+    findings = only(lint_sdfg(sdfg), "S203")
+    assert any("exceeds container" in f.message for f in findings)
+    assert all(f.severity == "error" for f in findings)
+
+
+def test_s203_rank_mismatch():
+    sdfg = producer_consumer_sdfg()
+    sdfg.arrays["out"].shape = (10, 8)  # axes still IJK: rank mismatch
+    findings = only(lint_sdfg(sdfg), "S203")
+    assert any("rank mismatch" in f.message for f in findings)
+
+
+def test_s204_transient_read_before_write():
+    sdfg = producer_consumer_sdfg()
+    state = sdfg.states[0]
+    state.nodes = [state.kernels[1]]  # drop the producer
+    findings = only(lint_sdfg(sdfg), "S204")
+    assert all("'t'" in f.message for f in findings)
+    assert findings[0].location.line == mark_line("consumer-read")
+
+
+def test_s205_dead_transient():
+    sdfg = producer_consumer_sdfg()
+    state = sdfg.states[0]
+    state.nodes = [state.kernels[0]]  # drop the consumer
+    (f,) = only(lint_sdfg(sdfg), "S205")
+    assert f.severity == "warning"
+    assert "'t'" in f.message
+
+
+def test_rules_filter():
+    sdfg = producer_consumer_sdfg()
+    state = sdfg.states[0]
+    state.nodes = [state.kernels[0]]
+    assert lint_sdfg(sdfg, rules=("S201",)) == []
+    assert [f.rule for f in lint_sdfg(sdfg, rules=("S205",))] == ["S205"]
+
+
+def test_loop_carried_transient_not_flagged():
+    """A transient written later in a loop body is legally read earlier in
+    the body on the next iteration."""
+    sdfg = producer_consumer_sdfg()
+    state = sdfg.states[0]
+    prod, cons = state.kernels
+    state.nodes = [cons, prod]  # consumer first, producer second
+    assert [f.rule for f in lint_sdfg(sdfg)] == ["S204", "S204"]
+    sdfg.add_loop(0, 0, 3)  # iterate the state: previous iteration wrote t
+    assert lint_sdfg(sdfg) == []
+
+
+def test_undeclared_callback_writes_disable_lifetime_rules():
+    from repro.sdfg.nodes import Callback
+
+    sdfg = producer_consumer_sdfg()
+    state = sdfg.states[0]
+    state.nodes = [state.kernels[1]]  # consumer only: S204 territory
+    state.nodes.insert(0, Callback("init", lambda: None))
+    assert lint_sdfg(sdfg) == []

@@ -1,0 +1,28 @@
+"""The deprecated repro.util.timing shim warns and re-exports repro.obs."""
+
+import importlib
+import sys
+
+import pytest
+
+import repro.obs.timing as obs_timing
+
+
+def _fresh_import():
+    sys.modules.pop("repro.util.timing", None)
+    return importlib.import_module("repro.util.timing")
+
+
+def test_shim_emits_deprecation_warning():
+    with pytest.warns(
+        DeprecationWarning, match="repro.util.timing is deprecated"
+    ):
+        _fresh_import()
+
+
+def test_shim_reexports_obs_timing():
+    with pytest.warns(DeprecationWarning):
+        shim = _fresh_import()
+    assert shim.median_time is obs_timing.median_time
+    assert shim.confidence_interval is obs_timing.confidence_interval
+    assert sorted(shim.__all__) == ["confidence_interval", "median_time"]

@@ -118,17 +118,29 @@ def test_validation_rejects_out_of_bounds_kernel():
         validate_sdfg(sdfg)
 
 
+def test_validation_rejects_rank_mismatch():
+    sdfg = _simple_sdfg()
+    # container loses a dimension but the kernel still accesses it as IJK
+    sdfg.arrays["y"].shape = (8, 8)
+    with pytest.raises(SDFGValidationError, match="rank mismatch on 'y'"):
+        validate_sdfg(sdfg)
+
+
 def test_validation_rejects_unknown_container():
     sdfg = _simple_sdfg()
     del sdfg.arrays["y"]
-    with pytest.raises(SDFGValidationError, match="unknown container"):
+    with pytest.raises(
+        SDFGValidationError, match="access of unknown container 'y'"
+    ):
         validate_sdfg(sdfg)
 
 
 def test_validation_rejects_bad_loop_regions():
     sdfg = _simple_sdfg()
     sdfg.add_loop(0, 3, 2)  # last state index out of range
-    with pytest.raises(SDFGValidationError, match="out of state range"):
+    with pytest.raises(
+        SDFGValidationError, match=r"loop region \[0, 3\] out of state range"
+    ):
         validate_sdfg(sdfg)
 
 
@@ -138,7 +150,10 @@ def test_validation_rejects_overlapping_loops():
     sdfg.add_state("s2")
     sdfg.add_loop(0, 1, 2)
     sdfg.add_loop(1, 2, 2)  # overlaps without nesting
-    with pytest.raises(SDFGValidationError, match="overlap"):
+    with pytest.raises(
+        SDFGValidationError,
+        match=r"\[0,1\] and \[1,2\] overlap without nesting",
+    ):
         validate_sdfg(sdfg)
 
 

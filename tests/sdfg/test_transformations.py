@@ -309,3 +309,134 @@ def test_validation_passes_on_transformed_graph():
     sdfg = _two_stencil_sdfg()
     apply_exhaustively(sdfg, [OTFMapFusion()])
     sdfg.validate()
+
+
+# ---------------------------------------------------------------------------
+# Fusion legality guards
+# ---------------------------------------------------------------------------
+
+def test_otf_fusion_skips_interval_deactivated_consumer_read():
+    # the consumer's only read of t sits in an interval that resolves
+    # empty for this K size: there is no dataflow to fuse over, and
+    # can_apply must say so instead of raising
+    @stencil
+    def _cold_read(t: Field, out: Field):
+        with computation(PARALLEL):
+            with interval(0, 3):
+                out = 1.0
+            with interval(3, None):
+                out = t  # never executes when nk == 3
+
+    shape, domain, origin = (8, 8, 3), (6, 6, 3), (1, 1, 0)
+    sdfg = SDFG("prog")
+    sdfg.add_array("a", shape)
+    sdfg.add_array("out", shape)
+    sdfg.add_transient("t", shape)
+    state = sdfg.add_state("s0")
+    state.add(StencilComputation(_double.definition, _double.extents,
+                                 mapping={"a": "a", "t": "t"},
+                                 domain=domain, origin=origin))
+    state.add(StencilComputation(_cold_read.definition, _cold_read.extents,
+                                 mapping={"t": "t", "out": "out"},
+                                 domain=domain, origin=origin))
+    sdfg.expand_library_nodes()
+    xf = OTFMapFusion()
+    (candidate,) = xf.candidates(sdfg, sdfg.states[0])
+    assert not xf.can_apply(sdfg, sdfg.states[0], candidate)
+    assert not xf.apply_first(sdfg)
+
+
+def test_otf_fusion_refuses_disjoint_producer_write():
+    # producer writes only the lower K levels of t, consumer reads only
+    # the upper ones: the subsets are disjoint, so inlining the producer
+    # expression would fabricate values the producer never computed
+    @stencil
+    def _low_write(a: Field, t: Field):
+        with computation(PARALLEL), interval(0, 1):
+            t = a * 2.0
+
+    @stencil
+    def _high_read(t: Field, out: Field):
+        with computation(PARALLEL), interval(1, None):
+            out = t
+
+    shape, domain, origin = (8, 8, 3), (6, 6, 3), (1, 1, 0)
+    sdfg = SDFG("prog")
+    sdfg.add_array("a", shape)
+    sdfg.add_array("out", shape)
+    sdfg.add_transient("t", shape)
+    state = sdfg.add_state("s0")
+    state.add(StencilComputation(_low_write.definition, _low_write.extents,
+                                 mapping={"a": "a", "t": "t"},
+                                 domain=domain, origin=origin))
+    state.add(StencilComputation(_high_read.definition, _high_read.extents,
+                                 mapping={"t": "t", "out": "out"},
+                                 domain=domain, origin=origin))
+    sdfg.expand_library_nodes()
+    assert not OTFMapFusion().apply_first(sdfg)
+
+
+def test_subgraph_fusion_rejects_write_after_read_hazard():
+    # kernel 1 reads t at +/-1, kernel 2 overwrites t: inside one map
+    # scope a neighbouring thread's write races the offset read (WAR)
+    shape, domain, origin = (8, 8, 3), (6, 6, 3), (1, 1, 0)
+    sdfg = SDFG("prog")
+    sdfg.add_array("a", shape)
+    sdfg.add_array("t", shape)
+    sdfg.add_array("out", shape)
+    state = sdfg.add_state("s0")
+    state.add(StencilComputation(_shift_add.definition, _shift_add.extents,
+                                 mapping={"t": "t", "out": "out"},
+                                 domain=domain, origin=origin))
+    state.add(StencilComputation(_double.definition, _double.extents,
+                                 mapping={"a": "a", "t": "t"},
+                                 domain=domain, origin=origin))
+    sdfg.expand_library_nodes()
+    assert not SubgraphFusion().apply_first(sdfg)
+
+
+def test_subgraph_fusion_allows_disjoint_offset_ranges():
+    # the reader touches x at a K offset, but only levels the writer
+    # provably never writes (Range.intersection is None): no dependency,
+    # fusion is legal and must now be accepted
+    @stencil
+    def _low_half_write(a: Field, x: Field):
+        with computation(PARALLEL), interval(0, 2):
+            x = a * 2.0
+
+    @stencil
+    def _high_shift_read(x: Field, out: Field):
+        with computation(PARALLEL), interval(0, 2):
+            out = x[0, 0, 2]
+
+    shape, domain, origin = (8, 8, 4), (6, 6, 4), (1, 1, 0)
+
+    def build():
+        sdfg = SDFG("prog")
+        sdfg.add_array("a", shape)
+        sdfg.add_array("x", shape)
+        sdfg.add_array("out", shape)
+        state = sdfg.add_state("s0")
+        state.add(StencilComputation(
+            _low_half_write.definition, _low_half_write.extents,
+            mapping={"a": "a", "x": "x"}, domain=domain, origin=origin))
+        state.add(StencilComputation(
+            _high_shift_read.definition, _high_shift_read.extents,
+            mapping={"x": "x", "out": "out"}, domain=domain, origin=origin))
+        sdfg.expand_library_nodes()
+        return sdfg
+
+    arrays = {
+        "a": _rand(shape),
+        "x": _rand(shape, 1),
+        "out": np.zeros(shape),
+    }
+    ref = _run(build(), arrays)
+
+    fused = build()
+    assert SubgraphFusion().apply_first(fused)
+    assert len(fused.states[0].kernels) == 1
+    fused.validate()
+    got = _run(fused, arrays)
+    for n in ("x", "out"):
+        np.testing.assert_array_equal(ref[n], got[n])
