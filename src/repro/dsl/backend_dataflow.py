@@ -84,9 +84,9 @@ class DataflowStencilExecutor:
                     domain,
                     bounds,
                 )
-                from repro.sdfg.codegen import compile_sdfg
+                from repro.runtime.compile_cache import get_or_compile
 
-                program = compile_sdfg(sdfg)
+                program = get_or_compile(sdfg)
             self._cache[key] = program
         if self._tracer.enabled:
             with self._tracer.span("exec.dataflow"):

@@ -44,6 +44,10 @@ class GatherPlan:
     src_i: np.ndarray
     src_j: np.ndarray
     rotations: int  # CCW quarter turns applied to vector components
+    #: row-major flat equivalents of (src_i, src_j) / (dst_i, dst_j) for
+    #: single-axis gathers into persistent pack buffers (``np.take``)
+    flat_src: np.ndarray = None
+    flat_dst: np.ndarray = None
 
     @property
     def cells(self) -> int:
@@ -96,6 +100,31 @@ class HaloUpdater:
             self._build_rank_plans(rank)
             for rank in range(partitioner.total_ranks)
         ]
+        # persistent pack buffers: gather plans are static per (rank,
+        # phase), so each message reuses one buffer for its whole lifetime
+        # (pack → send → receive back into it → scatter). Keyed also by the
+        # field's trailing shape and dtype since one updater serves both 2D
+        # and 3D fields.
+        self._bufs: Dict[tuple, np.ndarray] = {}
+
+    def _plan_buf(self, key: tuple, shape, dtype) -> np.ndarray:
+        buf = self._bufs.get(key)
+        if buf is None or buf.shape != shape or buf.dtype != dtype:
+            buf = np.empty(shape, dtype=dtype)
+            self._bufs[key] = buf
+        return buf
+
+    @staticmethod
+    def _gather(field: np.ndarray, flat: np.ndarray, buf: np.ndarray,
+                ij: Tuple[np.ndarray, np.ndarray]) -> None:
+        """buf[...] = field[ij] without allocating: a single-axis ``take``
+        on the row-major flattened view when the field is contiguous."""
+        if field.flags["C_CONTIGUOUS"]:
+            np.take(
+                field.reshape((-1,) + field.shape[2:]), flat, axis=0, out=buf
+            )
+        else:
+            buf[...] = field[ij]
 
     # ------------------------------------------------------------------
     def _build_rank_plans(self, rank: int) -> List[List[GatherPlan]]:
@@ -137,6 +166,7 @@ class HaloUpdater:
                 src, si, sj, rot = resolve(ox + i, oy + j)
                 cells.setdefault((src, rot), []).append((i + h, j + h, si, sj))
             plans = []
+            ncols = ny + 2 * h  # row-major second-axis stride, all ranks
             for (src, rot), quads in sorted(cells.items()):
                 arr = np.array(quads, dtype=np.int64)
                 plans.append(
@@ -147,6 +177,8 @@ class HaloUpdater:
                         src_i=arr[:, 2],
                         src_j=arr[:, 3],
                         rotations=rot,
+                        flat_src=arr[:, 2] * ncols + arr[:, 3],
+                        flat_dst=arr[:, 0] * ncols + arr[:, 1],
                     )
                 )
             phases.append(plans)
@@ -162,24 +194,38 @@ class HaloUpdater:
         messages = 0
         nbytes = 0
         with _TRACER.span("halo.exchange") as sp:
-            # post sends: the source rank packs the requested cells
+            # post sends: the source rank packs the requested cells into the
+            # message's persistent buffer. The pack is already contiguous,
+            # so nothing is copied between pack and send.
             for rank in range(self.partitioner.total_ranks):
                 for pi, plan in enumerate(self.plans[rank][phase]):
                     src_field = fields[plan.src_rank]
-                    payload = src_field[plan.src_i, plan.src_j]
+                    shape = (plan.cells,) + src_field.shape[2:]
+                    buf = self._plan_buf(
+                        (rank, phase, pi), shape, src_field.dtype
+                    )
+                    self._gather(
+                        src_field, plan.flat_src, buf,
+                        (plan.src_i, plan.src_j),
+                    )
                     messages += 1
-                    nbytes += payload.nbytes
+                    nbytes += buf.nbytes
                     comm.Isend(
-                        np.ascontiguousarray(payload),
+                        buf,
                         source=plan.src_rank,
                         dest=rank,
                         tag=phase * 1000 + pi,
                     )
-            # post receives and complete them
+            # post receives and complete them; each message's buffer is
+            # free for reuse the moment its send is posted (Isend hands a
+            # stable copy to the transport), so the receive lands in the
+            # same buffer
             for rank in range(self.partitioner.total_ranks):
                 for pi, plan in enumerate(self.plans[rank][phase]):
                     shape = (plan.cells,) + fields[rank].shape[2:]
-                    buf = np.empty(shape, dtype=fields[rank].dtype)
+                    buf = self._plan_buf(
+                        (rank, phase, pi), shape, fields[rank].dtype
+                    )
                     req = comm.Irecv(
                         buf, source=plan.src_rank, dest=rank,
                         tag=phase * 1000 + pi,
@@ -192,19 +238,41 @@ class HaloUpdater:
             sp.add("bytes", nbytes)
 
     def _rotate_vectors(self, vector_pair, phase: int) -> None:
+        from repro.runtime.pool import get_pool
+
         u_fields, v_fields = vector_pair
         rotated = 0
+        pool = get_pool()
         with _TRACER.span("halo.rotate_vectors") as sp:
             for rank in range(self.partitioner.total_ranks):
-                for plan in self.plans[rank][phase]:
+                for pi, plan in enumerate(self.plans[rank][phase]):
                     if plan.rotations == 0:
                         continue
                     rot = _ROTATIONS[plan.rotations]
                     rotated += plan.cells
-                    u = u_fields[rank][plan.dst_i, plan.dst_j]
-                    v = v_fields[rank][plan.dst_i, plan.dst_j]
-                    u_fields[rank][plan.dst_i, plan.dst_j] = rot[0, 0] * u + rot[0, 1] * v
-                    v_fields[rank][plan.dst_i, plan.dst_j] = rot[1, 0] * u + rot[1, 1] * v
+                    uf, vf = u_fields[rank], v_fields[rank]
+                    shape = (plan.cells,) + uf.shape[2:]
+                    ij = (plan.dst_i, plan.dst_j)
+                    # gather both components into persistent buffers, form
+                    # the rotated combinations in pooled scratch, scatter
+                    ub = self._plan_buf(("rotu", phase, rank, pi), shape,
+                                        uf.dtype)
+                    vb = self._plan_buf(("rotv", phase, rank, pi), shape,
+                                        vf.dtype)
+                    self._gather(uf, plan.flat_dst, ub, ij)
+                    self._gather(vf, plan.flat_dst, vb, ij)
+                    t1 = pool.checkout(shape, uf.dtype)
+                    t2 = pool.checkout(shape, uf.dtype)
+                    np.multiply(rot[0, 0], ub, out=t1)
+                    np.multiply(rot[0, 1], vb, out=t2)
+                    np.add(t1, t2, out=t1)
+                    uf[ij] = t1
+                    np.multiply(rot[1, 0], ub, out=t1)
+                    np.multiply(rot[1, 1], vb, out=t2)
+                    np.add(t1, t2, out=t1)
+                    vf[ij] = t1
+                    pool.release(t2)
+                    pool.release(t1)
             sp.add("cells", rotated)
 
     # ------------------------------------------------------------------

@@ -38,8 +38,17 @@ def to_json(tracer: Optional[Tracer] = None, indent: Optional[int] = 2) -> str:
         "tracer": tracer.name,
         "machine": observed_machine().name,
         "spans": [snapshot(c) for c in tracer.root.children.values()],
+        "runtime": _runtime_summary(),
     }
     return json.dumps(payload, indent=indent)
+
+
+def _runtime_summary() -> Dict[str, Dict[str, object]]:
+    # imported lazily: report must stay loadable without pulling the
+    # runtime/codegen stack in
+    from repro.runtime import runtime_summary
+
+    return runtime_summary()
 
 
 def _bandwidth_cells(node: Span, machine: MachineModel) -> str:
@@ -98,4 +107,31 @@ def report(
     ]
     for child in tracer.root.children.values():
         _render(child, 0, lines, machine)
+    lines.extend(_runtime_lines())
     return "\n".join(lines)
+
+
+def _runtime_lines() -> List[str]:
+    """Footer summarizing the runtime memory subsystem, shown once either
+    the pool or the compile cache has been exercised."""
+    rt = _runtime_summary()
+    pool = rt["pool"]
+    cache = rt["compile_cache"]
+    lines: List[str] = []
+    if pool["checkouts"]:
+        lines.append(
+            f"buffer pool: {pool['checkouts']} checkouts, "
+            f"{pool['reuse_hits']} reuse hits, "
+            f"{pool['allocated_bytes'] / 1e6:.1f} MB allocated, "
+            f"{pool['alloc_bytes_avoided'] / 1e6:.1f} MB avoided, "
+            f"high water {pool['high_water_bytes'] / 1e6:.1f} MB"
+        )
+    if cache["hits"] or cache["misses"]:
+        lines.append(
+            f"compile cache: {cache['hits']} hits / "
+            f"{cache['misses']} misses "
+            f"(rate {100 * cache['hit_rate']:.0f}%), "
+            f"{cache['entries']} programs cached, "
+            f"{cache['bytes_saved'] / 1e6:.1f} MB working-set reuse"
+        )
+    return lines

@@ -611,11 +611,13 @@ class OrchestratedProgram:
         return builder.sdfg
 
     def compile(self, instrument: bool = False):
-        from repro.sdfg.codegen import compile_sdfg
+        from repro.runtime.compile_cache import get_or_compile
 
         if self._builder is None:
             raise OrchestrationError("build() the program first")
-        self._compiled = compile_sdfg(self._builder.sdfg, instrument=instrument)
+        self._compiled = get_or_compile(
+            self._builder.sdfg, instrument=instrument
+        )
         return self._compiled
 
     def _key(self, args, kwargs):

@@ -1,0 +1,35 @@
+"""Runtime memory subsystem: pooled scratch buffers and compiled-program
+caching for the zero-allocation hot path.
+
+The paper's measured per-kernel times (Fig. 10) are meaningful only if
+they reflect array traffic, not allocator churn. This package removes the
+two allocation sources the generated NumPy programs had:
+
+- :mod:`repro.runtime.pool` — a shape/dtype-keyed scratch arena. Compiled
+  programs check out every temporary (expression scratch, kernel-local
+  arrays, SDFG transients) per call and release them afterwards, so
+  steady-state execution performs no array allocation.
+- :mod:`repro.runtime.compile_cache` — a content-hash cache of expanded
+  SDFGs → :class:`~repro.sdfg.codegen.CompiledSDFG`, so autotuning and
+  transfer tuning stop recompiling identical candidate configurations.
+
+:func:`runtime_summary` aggregates both counter sets for the obs report.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.runtime.pool import BufferPool, get_pool
+from repro.runtime import compile_cache
+
+__all__ = ["BufferPool", "get_pool", "compile_cache", "runtime_summary"]
+
+
+def runtime_summary() -> Dict[str, Dict[str, int]]:
+    """Pool and compile-cache counters for reports (zero-filled dicts when
+    the subsystems have not been exercised)."""
+    return {
+        "pool": get_pool().stats(),
+        "compile_cache": compile_cache.stats(),
+    }

@@ -1,0 +1,175 @@
+"""Compiled-program cache: content hash of an expanded SDFG → CompiledSDFG.
+
+The tuning loops compile the same candidate many times: ``tune_cutout``
+replays transformation sequences onto fresh SDFG copies, transfer tuning
+re-times cutouts per pattern, and orchestration recompiles after identical
+rebuilds. Two SDFG *objects* with equal content generate equal programs,
+so compilation is memoized on a canonical serialization of the expanded
+graph (array descriptors, kernel schedules/sections/statements, control
+flow, tasklets; callbacks by object identity — the cached program pins
+those objects, so ids cannot be recycled while the entry lives).
+
+Counters (hits, misses, bytes saved by not re-allocating the program's
+transient/local working set) are surfaced through ``repro.obs`` spans and
+the report footer. ``REPRO_COMPILE_CACHE=0`` disables the cache;
+``REPRO_COMPILE_CACHE_SIZE`` bounds it (LRU, default 256 programs).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from collections import OrderedDict
+from typing import Dict
+
+from repro.obs import tracer as _obs
+
+__all__ = ["get_or_compile", "cache_key", "stats", "reset"]
+
+_SEP = "\x1f"
+
+_CACHE: "OrderedDict[str, object]" = OrderedDict()
+_HITS = 0
+_MISSES = 0
+_BYTES_SAVED = 0
+
+
+def _enabled() -> bool:
+    return os.environ.get("REPRO_COMPILE_CACHE", "1") != "0"
+
+
+def _max_entries() -> int:
+    return int(os.environ.get("REPRO_COMPILE_CACHE_SIZE", "256"))
+
+
+# ---------------------------------------------------------------------------
+# canonical serialization
+# ---------------------------------------------------------------------------
+
+
+def _kernel_repr(kernel) -> str:
+    parts = [
+        "kernel",
+        kernel.label,
+        kernel.order,
+        repr(kernel.domain),
+        repr(kernel.origin),
+        repr(kernel.schedule),
+        repr(sorted(kernel.local_arrays.items())),
+        repr((kernel.bounds.origin, kernel.bounds.tile_shape)),
+        repr(sorted(kernel.origins.items())),
+        repr(kernel.constituents),
+    ]
+    for section in kernel.sections:
+        parts.append(repr(section.interval))
+        for stmt, ext in section.statements:
+            parts.append(repr(stmt))
+            parts.append(repr(ext))
+    return _SEP.join(parts)
+
+
+def _node_repr(node) -> str:
+    from repro.sdfg.nodes import Callback, Kernel, Tasklet
+
+    if isinstance(node, Kernel):
+        return _kernel_repr(node)
+    if isinstance(node, Tasklet):
+        return _SEP.join(
+            ["tasklet", node.label, node.code, repr(node.inputs), node.output]
+        )
+    if isinstance(node, Callback):
+        arg_ids = tuple(id(a) for a in node.args)
+        kw_ids = tuple(sorted((k, id(v)) for k, v in node.kwargs.items()))
+        return _SEP.join(
+            ["callback", node.label, str(id(node.func)), repr(arg_ids),
+             repr(kw_ids)]
+        )
+    return _SEP.join(["node", type(node).__name__, node.label])
+
+
+def cache_key(sdfg, instrument: bool = False) -> str:
+    """Canonical content hash of an expanded SDFG (+ codegen flags)."""
+    import numpy as np
+
+    from repro.sdfg.codegen import scheduling_enabled
+
+    h = hashlib.sha256()
+
+    def feed(text: str) -> None:
+        h.update(text.encode())
+        h.update(b"\x1e")
+
+    feed(f"instrument={instrument}")
+    feed(f"out_scheduling={scheduling_enabled()}")
+    for name, desc in sorted(sdfg.arrays.items()):
+        feed(
+            f"array{_SEP}{name}{_SEP}{desc.shape!r}{_SEP}"
+            f"{np.dtype(desc.dtype).str}{_SEP}{desc.axes}{_SEP}"
+            f"{desc.transient}"
+        )
+    for lp in sdfg.loops:
+        feed(f"loop{_SEP}{lp.first}{_SEP}{lp.last}{_SEP}{lp.count}")
+    for state in sdfg.states:
+        feed(f"state{_SEP}{state.name}{_SEP}{len(state.nodes)}")
+        for node in state.nodes:
+            feed(_node_repr(node))
+    return h.hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# the cache
+# ---------------------------------------------------------------------------
+
+
+def get_or_compile(sdfg, instrument: bool = False):
+    """Compile an SDFG, reusing a cached program with identical content.
+
+    Returns the same :class:`~repro.sdfg.codegen.CompiledSDFG` object for
+    content-equal SDFGs: per-kernel instrumentation counters accumulate
+    across users (readers take before/after deltas).
+    """
+    global _HITS, _MISSES, _BYTES_SAVED
+
+    from repro.sdfg.codegen import compile_sdfg
+
+    if not _enabled():
+        return compile_sdfg(sdfg, instrument=instrument)
+
+    if any(state.library_nodes for state in sdfg.states):
+        sdfg.expand_library_nodes()
+    tracer = _obs.get_tracer()
+    with tracer.span("sdfg.compile") as sp:
+        key = cache_key(sdfg, instrument)
+        program = _CACHE.get(key)
+        if program is not None:
+            _CACHE.move_to_end(key)
+            _HITS += 1
+            _BYTES_SAVED += program.runtime_bytes
+            sp.add("cache_hits", 1)
+            return program
+        _MISSES += 1
+        sp.add("cache_misses", 1)
+        program = compile_sdfg(sdfg, instrument=instrument)
+        _CACHE[key] = program
+        while len(_CACHE) > _max_entries():
+            _CACHE.popitem(last=False)
+        return program
+
+
+def stats() -> Dict[str, int]:
+    total = _HITS + _MISSES
+    return {
+        "hits": _HITS,
+        "misses": _MISSES,
+        "entries": len(_CACHE),
+        "bytes_saved": _BYTES_SAVED,
+        "hit_rate": (_HITS / total) if total else 0.0,
+    }
+
+
+def reset(clear: bool = True) -> None:
+    """Zero the counters (and optionally drop all cached programs)."""
+    global _HITS, _MISSES, _BYTES_SAVED
+    _HITS = _MISSES = _BYTES_SAVED = 0
+    if clear:
+        _CACHE.clear()

@@ -1,0 +1,143 @@
+"""Shape/dtype-keyed scratch buffer arena (checkout/release).
+
+Compiled SDFG programs, the halo updater and the ``out=`` expression
+scheduler draw every temporary array from here instead of allocating.
+Buffers are keyed by exact ``(shape, dtype)``; a released buffer is
+recycled by the next checkout of the same key, so steady-state execution
+of a compiled program performs zero array allocations.
+
+Checked-out buffers contain arbitrary data. Call sites that need defined
+contents (kernel locals that are read before written, flagged by the
+codegen analysis mirroring the ``repro.lint`` D-rules) zero them
+explicitly — everything else is fully overwritten by its producer.
+
+Safety properties:
+
+- two live (checked-out) buffers never alias — a buffer leaves the free
+  list on checkout and only returns on release;
+- double release raises, as does releasing a view (``arr.base`` set),
+  which would let two later checkouts alias;
+- nesting is safe: a nested program call simply checks out different
+  buffers while the outer call's buffers are live.
+
+``REPRO_BUFFER_POOL=0`` disables recycling (every checkout allocates a
+fresh array) as a debugging aid; the accounting still runs.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["BufferPool", "get_pool"]
+
+_Key = Tuple[Tuple[int, ...], str]
+
+
+class BufferPool:
+    """A scratch arena with free lists keyed by (shape, dtype)."""
+
+    def __init__(self, recycle: bool = True):
+        self.recycle = recycle
+        self._free: Dict[_Key, List[np.ndarray]] = {}
+        self._idle_ids: set = set()
+        self._lock = threading.Lock()
+        # accounting
+        self.checkouts = 0
+        self.reuse_hits = 0
+        self.allocations = 0
+        self.allocated_bytes = 0
+        self.alloc_bytes_avoided = 0
+        self.live_bytes = 0
+        self.idle_bytes = 0
+        self.high_water_bytes = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _key(shape, dtype) -> _Key:
+        return (tuple(shape), np.dtype(dtype).str)
+
+    def checkout(self, shape, dtype=np.float64) -> np.ndarray:
+        """Return a buffer of exactly ``shape``/``dtype`` (contents
+        arbitrary)."""
+        key = self._key(shape, dtype)
+        with self._lock:
+            self.checkouts += 1
+            free = self._free.get(key)
+            if self.recycle and free:
+                buf = free.pop()
+                self._idle_ids.discard(id(buf))
+                self.reuse_hits += 1
+                self.alloc_bytes_avoided += buf.nbytes
+                self.idle_bytes -= buf.nbytes
+                self.live_bytes += buf.nbytes
+                return buf
+        buf = np.empty(shape, dtype=dtype)
+        with self._lock:
+            self.allocations += 1
+            self.allocated_bytes += buf.nbytes
+            self.live_bytes += buf.nbytes
+            self.high_water_bytes = max(
+                self.high_water_bytes, self.live_bytes + self.idle_bytes
+            )
+        return buf
+
+    def release(self, buf: np.ndarray) -> None:
+        """Return a buffer to the arena for reuse."""
+        if buf.base is not None:
+            raise ValueError(
+                "cannot release a view: later checkouts would alias it"
+            )
+        key = self._key(buf.shape, buf.dtype)
+        with self._lock:
+            if id(buf) in self._idle_ids:
+                raise ValueError("buffer released twice")
+            self._idle_ids.add(id(buf))
+            self._free.setdefault(key, []).append(buf)
+            self.live_bytes -= buf.nbytes
+            self.idle_bytes += buf.nbytes
+            self.high_water_bytes = max(
+                self.high_water_bytes, self.live_bytes + self.idle_bytes
+            )
+
+    def checkout_many(
+        self, specs: Sequence[Tuple[Tuple[int, ...], np.dtype]]
+    ) -> List[np.ndarray]:
+        return [self.checkout(shape, dtype) for shape, dtype in specs]
+
+    def release_many(self, bufs: Sequence[np.ndarray]) -> None:
+        for buf in bufs:
+            self.release(buf)
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        return {
+            "checkouts": self.checkouts,
+            "reuse_hits": self.reuse_hits,
+            "allocations": self.allocations,
+            "allocated_bytes": self.allocated_bytes,
+            "alloc_bytes_avoided": self.alloc_bytes_avoided,
+            "live_bytes": self.live_bytes,
+            "idle_bytes": self.idle_bytes,
+            "high_water_bytes": self.high_water_bytes,
+        }
+
+    def clear(self) -> None:
+        """Drop all idle buffers (live checkouts are unaffected)."""
+        with self._lock:
+            self._free.clear()
+            self._idle_ids.clear()
+            self.idle_bytes = 0
+
+
+_POOL: BufferPool = BufferPool(
+    recycle=os.environ.get("REPRO_BUFFER_POOL", "1") != "0"
+)
+
+
+def get_pool() -> BufferPool:
+    """The process-wide default arena used by compiled programs."""
+    return _POOL

@@ -10,13 +10,33 @@ properties the evaluation relies on:
 - per-kernel instrumentation yields the measured runtimes that the
   model-driven analysis (Fig. 10) combines with modeled peak times.
 
-Compiled programs are bit-compatible with the pure NumPy backend.
+Statement emission is *scheduled*: instead of one nested expression string
+per statement (every NumPy operator allocating a fresh full-domain
+temporary), each floating-point subexpression becomes an explicit ufunc
+call with ``out=`` into a scratch slot drawn from :mod:`repro.runtime.pool`.
+Slots are recycled register-style — freed as soon as their last consumer
+has been emitted — and kernel-local arrays and SDFG transients are pooled
+too, zeroed only when a kernel actually reads them before writing (the
+condition the ``repro.lint`` D101 rule detects). Steady-state execution of
+a compiled program therefore performs no array allocation.
+
+Compiled programs remain bit-compatible with the pure NumPy backend:
+``out=`` targets are only used where NumPy's ufunc memory-overlap
+guarantee (NumPy ≥ 1.13) makes the result identical to evaluation through
+temporaries, and a subexpression is only materialized when its result
+dtype is provably float64 under NEP 50 promotion (at least one float64
+array operand). Everything else stays inline. ``REPRO_OUT_SCHEDULING=0``
+restores the seed's nested-expression emission for A/B comparisons.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import math
+import os
+import re
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 import numpy as np
 
@@ -31,7 +51,9 @@ from repro.dsl.ir import (
     ScalarRef,
     Ternary,
     UnaryOp,
+    expr_reads,
 )
+from repro.runtime.pool import get_pool
 from repro.sdfg.nodes import Callback, Kernel, StencilComputation, Tasklet
 
 _NP_FUNCS = {
@@ -53,6 +75,27 @@ _NP_FUNCS = {
     "sign": "np.sign",
 }
 
+_UFUNC_BINOPS = {
+    "+": "np.add",
+    "-": "np.subtract",
+    "*": "np.multiply",
+    "/": "np.divide",
+    "**": "np.power",
+    "%": "np.remainder",
+    "//": "np.floor_divide",
+}
+_CMP_OPS = {"<", ">", "<=", ">=", "==", "!="}
+
+_F64 = np.dtype(np.float64)
+_BOOL = np.dtype(bool)
+
+
+def scheduling_enabled() -> bool:
+    """Whether expression emission uses ``out=`` scheduling into pooled
+    scratch (default). ``REPRO_OUT_SCHEDULING=0`` restores the seed's
+    nested-expression strings for A/B bit-exactness comparisons."""
+    return os.environ.get("REPRO_OUT_SCHEDULING", "1") != "0"
+
 
 class _SourceBuilder:
     def __init__(self):
@@ -64,6 +107,62 @@ class _SourceBuilder:
 
     def source(self) -> str:
         return "\n".join(self.lines) + "\n"
+
+
+# ---------------------------------------------------------------------------
+# scheduled expression values
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass
+class _Val:
+    """One scheduled (sub)expression: source text plus what is statically
+    known about the array it evaluates to."""
+
+    text: str
+    shape: Tuple[int, ...]
+    dtype: Optional[np.dtype]  # None: weak scalar / not statically known
+    is_bool: bool = False
+    #: resolved array name when ``text`` is a bare view of that array
+    base: Optional[str] = None
+    #: live scratch slots referenced (transitively) by ``text``
+    slots: FrozenSet[int] = frozenset()
+    #: the root op already wrote through ``out=`` into the statement target
+    stored: bool = False
+
+    @property
+    def is_f64_array(self) -> bool:
+        return self.shape != () and self.dtype == _F64
+
+
+class _BufferPlan:
+    """Codegen-time scratch slot allocator with keyed free lists.
+
+    Slot indices are positions in the runtime buffer list ``__B``; a freed
+    slot of the same (shape, dtype) is reused by the next allocation, so
+    the compiled program's working set is the peak number of simultaneously
+    live values, not the total op count."""
+
+    def __init__(self):
+        self.specs: List[Tuple[Tuple[int, ...], np.dtype]] = []
+        self._free: Dict[Tuple[Tuple[int, ...], str], List[int]] = {}
+
+    def alloc(self, shape, dtype=_F64) -> int:
+        dtype = np.dtype(dtype)
+        key = (tuple(shape), dtype.str)
+        free = self._free.get(key)
+        if free:
+            return free.pop()
+        self.specs.append((tuple(shape), dtype))
+        return len(self.specs) - 1
+
+    def free(self, idx: int) -> None:
+        shape, dtype = self.specs[idx]
+        self._free.setdefault((shape, dtype.str), []).append(idx)
+
+
+def _broadcast(*shapes) -> Tuple[int, ...]:
+    return tuple(np.broadcast_shapes(*shapes)) if shapes else ()
 
 
 class _ExprEmitter:
@@ -83,6 +182,11 @@ class _ExprEmitter:
         if name in self.kernel.local_arrays:
             return "IJK"
         return self.sdfg.arrays[name].axes
+
+    def dtype_of(self, name: str) -> np.dtype:
+        if name in self.kernel.local_arrays:
+            return _F64
+        return np.dtype(self.sdfg.arrays[name].dtype)
 
     def origin(self, name: str) -> Tuple[int, int, int]:
         if name in self.kernel.local_arrays:
@@ -140,10 +244,14 @@ class _ExprEmitter:
         if "K" in axes:
             shift = ok + dk
             parts.append(f"{k_src} + {shift}" if shift else k_src)
-        src = f"{self.array_name(name)}[{', '.join(parts)}]"
         if axes == "K":
-            src += "[np.newaxis, np.newaxis]" if False else ""
-        return src
+            # K-only fields collapse to a scalar at a fixed level; keep them
+            # 2D (shape (1, 1)) to match the debug backend's broadcasting
+            return (
+                f"{self.array_name(name)}"
+                f"[np.newaxis, np.newaxis, {parts[0]}]"
+            )
+        return f"{self.array_name(name)}[{', '.join(parts)}]"
 
     def expr_2d(self, expr: Expr, irng, jrng, k_src: str) -> str:
         e = lambda x: self.expr_2d(x, irng, jrng, k_src)  # noqa: E731
@@ -182,21 +290,332 @@ class _ExprEmitter:
         raise TypeError(f"cannot generate code for {type(expr).__name__}")
 
 
-def _kernel_source(kernel: Kernel, sdfg, out: _SourceBuilder) -> None:
-    """Emit the body of one kernel."""
-    prefix = f"__loc{kernel.node_id}_"
-    em = _ExprEmitter(kernel, sdfg, prefix)
-    ni, nj, nk = kernel.domain
+class _Ctx:
+    """Leaf emission for one statement's concrete index ranges; shapes and
+    dtypes are fully known at codegen time, which is what lets the
+    scheduler allocate exact scratch slots."""
 
-    # allocate (and, when partially written, zero) kernel-local arrays
+    def __init__(self, em: _ExprEmitter, irng, jrng, krng=None, k_src=None):
+        self.em = em
+        self.irng = irng
+        self.jrng = jrng
+        self.krng = krng
+        self.k_src = k_src
+        self.is_3d = krng is not None
+
+    def _hlens(self) -> Tuple[int, int]:
+        return (self.irng[1] - self.irng[0], self.jrng[1] - self.jrng[0])
+
+    def access(self, expr: FieldAccess) -> "_Val":
+        em = self.em
+        axes = em.axes(expr.name)
+        dtype = em.dtype_of(expr.name)
+        ilen, jlen = self._hlens()
+        if self.is_3d:
+            text = em.access_3d(
+                expr.name, expr.offset, self.irng, self.jrng, self.krng
+            )
+            klen = self.krng[1] - self.krng[0]
+            if axes == "IJ":
+                shape = (ilen, jlen, 1)
+            elif axes == "K":
+                shape = (1, 1, klen)
+            else:
+                shape = (ilen, jlen, klen)
+        else:
+            text = em.access_2d(
+                expr.name, expr.offset, self.irng, self.jrng, self.k_src
+            )
+            shape = (1, 1) if axes == "K" else (ilen, jlen)
+        return _Val(
+            text,
+            shape,
+            dtype,
+            is_bool=(dtype == _BOOL),
+            base=em.array_name(expr.name),
+        )
+
+    def axis_index(self, expr: AxisIndexExpr) -> "_Val":
+        ilen, jlen = self._hlens()
+        i64 = np.dtype(np.int64)
+        if self.is_3d:
+            if expr.axis == "I":
+                text = f"np.arange({self.irng[0]}, {self.irng[1]}).reshape(-1, 1, 1)"
+                return _Val(text, (ilen, 1, 1), i64)
+            if expr.axis == "J":
+                text = f"np.arange({self.jrng[0]}, {self.jrng[1]}).reshape(1, -1, 1)"
+                return _Val(text, (1, jlen, 1), i64)
+            klen = self.krng[1] - self.krng[0]
+            text = f"np.arange({self.krng[0]}, {self.krng[1]}).reshape(1, 1, -1)"
+            return _Val(text, (1, 1, klen), i64)
+        if expr.axis == "I":
+            text = f"np.arange({self.irng[0]}, {self.irng[1]}).reshape(-1, 1)"
+            return _Val(text, (ilen, 1), i64)
+        if expr.axis == "J":
+            text = f"np.arange({self.jrng[0]}, {self.jrng[1]}).reshape(1, -1)"
+            return _Val(text, (1, jlen), i64)
+        return _Val(f"({self.k_src})", (), None)  # plain Python int at runtime
+
+
+class _StmtScheduler:
+    """Post-order ``out=`` scheduling of one statement's expression tree.
+
+    A compound node is *materialized* — emitted as its own ufunc call with
+    ``out=`` into a scratch slot — only when its result dtype is provably
+    float64 (NEP 50: at least one float64 array operand; nothing in the DSL
+    promotes above float64). Comparisons, logicals and anything uncertain
+    stay inline, so scheduled programs are bit-identical to nested
+    evaluation. Operand slots are freed before the output slot is taken, so
+    an op may write in place over its own input — exact-overlap ``out=`` is
+    well-defined for elementwise ufuncs."""
+
+    def __init__(self, out: _SourceBuilder, plan: _BufferPlan, enabled: bool):
+        self.out = out
+        self.plan = plan
+        self.enabled = enabled
+
+    @staticmethod
+    def _buf(idx: int) -> str:
+        return f"__B[{idx}]"
+
+    def free(self, *vals: _Val) -> None:
+        for val in vals:
+            for slot in val.slots:
+                self.plan.free(slot)
+
+    def _eligible(self, shape, operands) -> bool:
+        return (
+            self.enabled
+            and shape != ()
+            and any(o.is_f64_array for o in operands)
+        )
+
+    def _inline(self, text: str, operands, bool_: bool = False) -> _Val:
+        slots = frozenset().union(*(o.slots for o in operands))
+        shape = _broadcast(*[o.shape for o in operands])
+        return _Val(
+            text, shape, _BOOL if bool_ else None, is_bool=bool_, slots=slots
+        )
+
+    def _ufunc(self, func, operands, shape, target: Optional[_Val]) -> _Val:
+        args = ", ".join(o.text for o in operands)
+        if (
+            target is not None
+            and target.shape == shape
+            and target.dtype == _F64
+        ):
+            # the root op writes straight into the statement target; NumPy's
+            # overlap handling keeps this identical to using a temporary
+            self.free(*operands)
+            self.out.emit(f"{func}({args}, out={target.text})")
+            return _Val(target.text, shape, _F64, stored=True)
+        self.free(*operands)  # freed first: exact-alias out= is well-defined
+        idx = self.plan.alloc(shape)
+        self.out.emit(f"{func}({args}, out={self._buf(idx)})")
+        return _Val(self._buf(idx), shape, _F64, slots=frozenset({idx}))
+
+    def schedule(
+        self, expr: Expr, ctx: _Ctx, target: Optional[_Val] = None
+    ) -> _Val:
+        e = lambda x: self.schedule(x, ctx)  # noqa: E731
+        if isinstance(expr, Literal):
+            return _Val(
+                repr(expr.value), (), None,
+                is_bool=isinstance(expr.value, bool),
+            )
+        if isinstance(expr, ScalarRef):
+            return _Val(f"__s_{expr.name}", (), None)
+        if isinstance(expr, FieldAccess):
+            return ctx.access(expr)
+        if isinstance(expr, AxisIndexExpr):
+            return ctx.axis_index(expr)
+        if isinstance(expr, BinOp):
+            left, right = e(expr.left), e(expr.right)
+            pair = (left, right)
+            if expr.op == "and":
+                return self._inline(
+                    f"np.logical_and({left.text}, {right.text})", pair, True
+                )
+            if expr.op == "or":
+                return self._inline(
+                    f"np.logical_or({left.text}, {right.text})", pair, True
+                )
+            if expr.op in _CMP_OPS:
+                return self._inline(
+                    f"({left.text} {expr.op} {right.text})", pair, True
+                )
+            shape = _broadcast(left.shape, right.shape)
+            if self._eligible(shape, pair):
+                return self._ufunc(_UFUNC_BINOPS[expr.op], pair, shape, target)
+            return self._inline(f"({left.text} {expr.op} {right.text})", pair)
+        if isinstance(expr, UnaryOp):
+            operand = e(expr.operand)
+            if expr.op == "not":
+                return self._inline(
+                    f"np.logical_not({operand.text})", (operand,), True
+                )
+            if self._eligible(operand.shape, (operand,)):
+                return self._ufunc(
+                    "np.negative", (operand,), operand.shape, target
+                )
+            return self._inline(f"(-{operand.text})", (operand,))
+        if isinstance(expr, Call):
+            args = tuple(e(a) for a in expr.args)
+            shape = _broadcast(*[a.shape for a in args])
+            if self._eligible(shape, args):
+                return self._ufunc(_NP_FUNCS[expr.func], args, shape, target)
+            arg_text = ", ".join(a.text for a in args)
+            return self._inline(f"{_NP_FUNCS[expr.func]}({arg_text})", args)
+        if isinstance(expr, Ternary):
+            cond, then, orelse = e(expr.cond), e(expr.then), e(expr.orelse)
+            shape = _broadcast(cond.shape, then.shape, orelse.shape)
+            if self._eligible(shape, (then, orelse)) and cond.is_bool:
+                # np.where has no out=: assign the else branch, then copy
+                # the then branch over the masked lanes. The slot is taken
+                # *before* the operands are freed — the two-step write must
+                # not alias them.
+                idx = self.plan.alloc(shape)
+                self.out.emit(f"{self._buf(idx)}[...] = {orelse.text}")
+                self.out.emit(
+                    f"np.copyto({self._buf(idx)}, {then.text}, "
+                    f"where={cond.text})"
+                )
+                self.free(cond, then, orelse)
+                return _Val(self._buf(idx), shape, _F64, slots=frozenset({idx}))
+            return self._inline(
+                f"np.where({cond.text}, {then.text}, {orelse.text})",
+                (cond, then, orelse),
+            )
+        raise TypeError(f"cannot generate code for {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# zero-fill analysis (pooled buffers hold arbitrary data on checkout)
+# ---------------------------------------------------------------------------
+
+
+def _covering_first_write(kernel: Kernel, name: str, shape, origin) -> bool:
+    """True when the first access to ``name`` inside ``kernel`` is an
+    unmasked, unregioned write that covers the whole buffer before any
+    read — the condition under which a pooled (garbage-initialized) buffer
+    behaves exactly like the debug backend's zeroed temporary. Mirrors the
+    read-before-write analysis of the ``repro.lint`` D101 rule, but proves
+    the safe direction."""
+    oi, oj, ok = origin
+    ni, nj, nk = kernel.domain
+    accesses = []  # (section, stmt, ext, reads, writes) in program order
+    for section in kernel.sections:
+        for stmt, ext in section.statements:
+            reads = any(a.name == name for a in expr_reads(stmt))
+            writes = stmt.target.name == name
+            if reads or writes:
+                accesses.append((section, stmt, ext, reads, writes))
+    if not accesses:
+        return True  # never accessed
+    if len({id(sec) for sec, *_ in accesses}) > 1:
+        return False  # cross-interval initialization: keep the zero fill
+    sec0, stmt0, ext0, r0, w0 = accesses[0]
+    if r0 or not w0:
+        # expr_reads counts a masked write's target as a read, so masked
+        # first writes land here too
+        return False
+    if stmt0.mask is not None or stmt0.region is not None:
+        return False
+    i0, i1 = oi + ext0.i_lo, oi + ni + ext0.i_hi
+    j0, j1 = oj + ext0.j_lo, oj + nj + ext0.j_hi
+    if not (i0 <= 0 and i1 >= shape[0] and j0 <= 0 and j1 >= shape[1]):
+        return False
+    if kernel.order == "PARALLEL":
+        k0, k1 = sec0.interval.resolve(nk)
+        k0, k1 = max(k0, 0), min(k1, nk)
+        return ok + k0 <= 0 and ok + k1 >= shape[2]
+    # sequential: each level writes before it reads, provided no statement
+    # reads the buffer at a vertical offset (previous/next levels)
+    for _, stmt, _, reads, _ in accesses:
+        if reads:
+            for acc in expr_reads(stmt):
+                if acc.name == name and acc.offset[2] != 0:
+                    return False
+    return True
+
+
+def _locals_needing_zero(kernel: Kernel) -> set:
+    ni, nj, nk = kernel.domain
+    need = set()
     for name, ext in kernel.local_arrays.items():
         shape = (
             ni - ext.i_lo + ext.i_hi,
             nj - ext.j_lo + ext.j_hi,
             nk - ext.k_lo + ext.k_hi,
         )
-        # zero-filled to match the debug backend's temporary semantics
-        out.emit(f"{prefix}{name} = np.zeros({shape!r})")
+        origin = (-ext.i_lo, -ext.j_lo, -ext.k_lo)
+        if not _covering_first_write(kernel, name, shape, origin):
+            need.add(name)
+    return need
+
+
+def _transients_needing_zero(sdfg) -> List[str]:
+    """Transients whose first touching node does not provably overwrite
+    them: these are re-zeroed before that node on every pass (matching the
+    debug backend, which zeroes temporaries on every stencil call)."""
+
+    def first_touch_safe(name: str, shape) -> bool:
+        for state in sdfg.states:
+            for node in state.nodes:
+                if isinstance(node, Kernel):
+                    if (
+                        name in node.written_fields()
+                        or name in node.read_fields()
+                    ):
+                        return _covering_first_write(
+                            node, name, shape, node.origin_of(name)
+                        )
+                elif isinstance(node, Callback):
+                    reads = node.reads
+                    writes = node.writes
+                    if (
+                        reads is None
+                        or name in reads
+                        or (writes is not None and name in writes)
+                    ):
+                        return False  # unknown contact: keep the zero fill
+        return True  # never touched
+    return [
+        name
+        for name, desc in sdfg.arrays.items()
+        if desc.transient and not first_touch_safe(name, desc.shape)
+    ]
+
+
+# ---------------------------------------------------------------------------
+# kernel emission
+# ---------------------------------------------------------------------------
+
+
+def _kernel_source(
+    kernel: Kernel, sdfg, out: _SourceBuilder, plan: _BufferPlan,
+    enabled: bool,
+) -> None:
+    """Emit the body of one kernel."""
+    prefix = f"__loc{kernel.node_id}_"
+    em = _ExprEmitter(kernel, sdfg, prefix)
+    ni, nj, nk = kernel.domain
+
+    # bind kernel-local arrays to pooled slots; zero only those the kernel
+    # reads (or writes under a mask) before fully writing
+    need_zero = _locals_needing_zero(kernel)
+    local_slots = []
+    for name, ext in kernel.local_arrays.items():
+        shape = (
+            ni - ext.i_lo + ext.i_hi,
+            nj - ext.j_lo + ext.j_hi,
+            nk - ext.k_lo + ext.k_hi,
+        )
+        idx = plan.alloc(shape)
+        local_slots.append(idx)
+        out.emit(f"{prefix}{name} = __B[{idx}]")
+        if name in need_zero:
+            out.emit(f"{prefix}{name}.fill(0)")
 
     for section in kernel.sections:
         k0, k1 = section.interval.resolve(nk)
@@ -205,7 +624,9 @@ def _kernel_source(kernel: Kernel, sdfg, out: _SourceBuilder) -> None:
             continue
         if kernel.order == "PARALLEL":
             for stmt, ext in section.statements:
-                _emit_parallel_stmt(kernel, em, out, stmt, ext, (k0, k1))
+                _emit_parallel_stmt(
+                    kernel, em, out, stmt, ext, (k0, k1), plan, enabled
+                )
         else:
             if kernel.order == "FORWARD":
                 out.emit(f"for __k in range({k0}, {k1}):")
@@ -213,8 +634,14 @@ def _kernel_source(kernel: Kernel, sdfg, out: _SourceBuilder) -> None:
                 out.emit(f"for __k in range({k1 - 1}, {k0 - 1}, -1):")
             out.indent += 1
             for stmt, ext in section.statements:
-                _emit_level_stmt(kernel, em, out, stmt, ext, "__k")
+                _emit_level_stmt(
+                    kernel, em, out, stmt, ext, "__k", plan, enabled
+                )
             out.indent -= 1
+
+    # the kernel's locals are dead past this point; later kernels reuse them
+    for idx in local_slots:
+        plan.free(idx)
 
 
 def _ranges_for(kernel: Kernel, stmt: Assign, ext):
@@ -229,7 +656,46 @@ def _ranges_for(kernel: Kernel, stmt: Assign, ext):
     return full, restricted
 
 
-def _emit_parallel_stmt(kernel, em, out, stmt, ext, krng) -> None:
+def _finish_stmt(sched, out, stmt, ctx, conds: List[_Val]) -> None:
+    """Schedule the RHS and write the statement target.
+
+    Unconditional statements hand the target to the scheduler so the root
+    op can write it directly with ``out=``. Conditional statements become
+    ``np.copyto(target, value, where=cond)`` when that is provably
+    equivalent to the classic ``target = np.where(cond, value, target)``
+    (boolean condition, float64 target, and neither value nor condition is
+    a bare view of the target — expression operands are materialized before
+    the copy runs, so only direct views can overlap)."""
+    lhs = ctx.access(FieldAccess(stmt.target.name, (0, 0, 0)))
+    if conds:
+        val = sched.schedule(stmt.value, ctx)
+        cond = (
+            " & ".join(f"({c.text})" for c in conds)
+            if len(conds) > 1
+            else conds[0].text
+        )
+        safe = (
+            sched.enabled
+            and lhs.dtype == _F64
+            and all(c.is_bool for c in conds)
+            and all(c.base is None or c.base != lhs.base for c in conds)
+            and (val.base is None or val.base != lhs.base)
+        )
+        if safe:
+            out.emit(f"np.copyto({lhs.text}, {val.text}, where={cond})")
+        else:
+            out.emit(f"{lhs.text} = np.where({cond}, {val.text}, {lhs.text})")
+        sched.free(val, *conds)
+    else:
+        val = sched.schedule(stmt.value, ctx, target=lhs)
+        if not val.stored:
+            out.emit(f"{lhs.text} = {val.text}")
+        sched.free(val)
+
+
+def _emit_parallel_stmt(
+    kernel, em, out, stmt, ext, krng, plan, enabled
+) -> None:
     full, restricted = _ranges_for(kernel, stmt, ext)
     predicate = kernel.schedule.regions_as_predication and stmt.region is not None
     if stmt.region is not None and restricted is None:
@@ -243,12 +709,15 @@ def _emit_parallel_stmt(kernel, em, out, stmt, ext, krng) -> None:
                 f"cannot write 2D field {stmt.target.name!r} over a "
                 "multi-level interval"
             )
-        _emit_level_stmt(kernel, em, out, stmt, ext, str(krng[0]), irjr=(irng, jrng))
+        _emit_level_stmt(
+            kernel, em, out, stmt, ext, str(krng[0]), plan, enabled,
+            irjr=(irng, jrng),
+        )
         return
 
-    lhs = em.access_3d(stmt.target.name, (0, 0, 0), irng, jrng, krng)
-    val = em.expr_3d(stmt.value, irng, jrng, krng)
-    conds = []
+    ctx = _Ctx(em, irng, jrng, krng=krng)
+    sched = _StmtScheduler(out, plan, enabled)
+    conds: List[_Val] = []
     if predicate:
         (ri, rj) = restricted
         out.emit(
@@ -258,19 +727,22 @@ def _emit_parallel_stmt(kernel, em, out, stmt, ext, krng) -> None:
             f"__rj = np.arange({jrng[0]}, {jrng[1]}).reshape(1, -1, 1)"
         )
         conds.append(
-            f"((__ri >= {ri[0]}) & (__ri < {ri[1]}) & "
-            f"(__rj >= {rj[0]}) & (__rj < {rj[1]}))"
+            _Val(
+                f"((__ri >= {ri[0]}) & (__ri < {ri[1]}) & "
+                f"(__rj >= {rj[0]}) & (__rj < {rj[1]}))",
+                (irng[1] - irng[0], jrng[1] - jrng[0], 1),
+                _BOOL,
+                is_bool=True,
+            )
         )
     if stmt.mask is not None:
-        conds.append(em.expr_3d(stmt.mask, irng, jrng, krng))
-    if conds:
-        cond = " & ".join(f"({c})" for c in conds) if len(conds) > 1 else conds[0]
-        out.emit(f"{lhs} = np.where({cond}, {val}, {lhs})")
-    else:
-        out.emit(f"{lhs} = {val}")
+        conds.append(sched.schedule(stmt.mask, ctx))
+    _finish_stmt(sched, out, stmt, ctx, conds)
 
 
-def _emit_level_stmt(kernel, em, out, stmt, ext, k_src: str, irjr=None) -> None:
+def _emit_level_stmt(
+    kernel, em, out, stmt, ext, k_src: str, plan, enabled, irjr=None
+) -> None:
     if irjr is None:
         full, restricted = _ranges_for(kernel, stmt, ext)
         predicate = (
@@ -284,24 +756,25 @@ def _emit_level_stmt(kernel, em, out, stmt, ext, k_src: str, irjr=None) -> None:
         predicate = False
         restricted = None
 
-    lhs = em.access_2d(stmt.target.name, (0, 0, 0), irng, jrng, k_src)
-    val = em.expr_2d(stmt.value, irng, jrng, k_src)
-    conds = []
+    ctx = _Ctx(em, irng, jrng, k_src=k_src)
+    sched = _StmtScheduler(out, plan, enabled)
+    conds: List[_Val] = []
     if predicate:
         (ri, rj) = restricted
         conds.append(
-            f"((np.arange({irng[0]}, {irng[1]}).reshape(-1, 1) >= {ri[0]}) & "
-            f"(np.arange({irng[0]}, {irng[1]}).reshape(-1, 1) < {ri[1]}) & "
-            f"(np.arange({jrng[0]}, {jrng[1]}).reshape(1, -1) >= {rj[0]}) & "
-            f"(np.arange({jrng[0]}, {jrng[1]}).reshape(1, -1) < {rj[1]}))"
+            _Val(
+                f"((np.arange({irng[0]}, {irng[1]}).reshape(-1, 1) >= {ri[0]}) & "
+                f"(np.arange({irng[0]}, {irng[1]}).reshape(-1, 1) < {ri[1]}) & "
+                f"(np.arange({jrng[0]}, {jrng[1]}).reshape(1, -1) >= {rj[0]}) & "
+                f"(np.arange({jrng[0]}, {jrng[1]}).reshape(1, -1) < {rj[1]}))",
+                (irng[1] - irng[0], jrng[1] - jrng[0]),
+                _BOOL,
+                is_bool=True,
+            )
         )
     if stmt.mask is not None:
-        conds.append(em.expr_2d(stmt.mask, irng, jrng, k_src))
-    if conds:
-        cond = " & ".join(f"({c})" for c in conds) if len(conds) > 1 else conds[0]
-        out.emit(f"{lhs} = np.where({cond}, {val}, {lhs})")
-    else:
-        out.emit(f"{lhs} = {val}")
+        conds.append(sched.schedule(stmt.mask, ctx))
+    _finish_stmt(sched, out, stmt, ctx, conds)
 
 
 class CompiledSDFG:
@@ -311,6 +784,11 @@ class CompiledSDFG:
     non-transient container) and optional ``scalars``. Per-kernel wall-clock
     times are collected when ``instrument=True`` (used by the Fig. 10
     analysis).
+
+    All working memory — expression scratch slots, kernel-local arrays and
+    SDFG transients — is checked out of the process buffer pool per call
+    and released afterwards, so nested calls are safe and repeated calls
+    allocate nothing.
     """
 
     def __init__(self, sdfg, instrument: bool = False):
@@ -318,6 +796,8 @@ class CompiledSDFG:
         self.instrument = instrument
         self.kernel_labels: List[str] = []
         self._callbacks: List = []
+        self._sched_enabled = scheduling_enabled()
+        self._plan = _BufferPlan()
         self.source = self._generate()
         namespace = {
             "np": np,
@@ -329,17 +809,32 @@ class CompiledSDFG:
         self._program = namespace["__program"]
         self._kernel_time = np.zeros(len(self.kernel_labels))
         self._kernel_count = np.zeros(len(self.kernel_labels), dtype=np.int64)
-        self._transients: Dict[str, np.ndarray] = {
-            name: np.zeros(desc.shape, dtype=desc.dtype)
+        self._buffer_specs = list(self._plan.specs)
+        self._transient_specs: List[Tuple[str, Tuple[int, ...], np.dtype]] = [
+            (name, tuple(desc.shape), np.dtype(desc.dtype))
             for name, desc in sdfg.arrays.items()
             if desc.transient
-        }
+        ]
+        self._required: Tuple[str, ...] = tuple(
+            name for name, desc in sdfg.arrays.items() if not desc.transient
+        )
+
+    @property
+    def runtime_bytes(self) -> int:
+        """Bytes of pooled working memory one call of this program uses
+        (scratch slots + kernel locals + transients)."""
+        total = 0
+        for shape, dtype in self._buffer_specs:
+            total += math.prod(shape) * dtype.itemsize
+        for _, shape, dtype in self._transient_specs:
+            total += math.prod(shape) * dtype.itemsize
+        return total
 
     # ------------------------------------------------------------------
     def _generate(self) -> str:
         sdfg = self.sdfg
         out = _SourceBuilder()
-        out.emit("def __program(__A, __S, __KT, __KC):")
+        out.emit("def __program(__A, __S, __KT, __KC, __B):")
         out.indent += 1
         for name, desc in sdfg.arrays.items():
             out.emit(f"{name} = __A[{name!r}]")
@@ -354,6 +849,11 @@ class CompiledSDFG:
             out.emit(f"__s_{name} = __S[{name!r}]")
         out.emit()
 
+        # transients whose first consumer reads before (fully) writing get
+        # re-zeroed right before that consumer — per loop iteration, exactly
+        # like the debug backend's per-call temporary zeroing
+        pending_fills = set(_transients_needing_zero(sdfg))
+
         # control-flow structure: linear chain with counted loop regions
         loop_starts = {lp.first: lp for lp in sdfg.loops}
         loop_depth = []
@@ -366,21 +866,43 @@ class CompiledSDFG:
                 loop_depth.append(lp)
             out.emit(f"# --- state {state.name} ---")
             for node in state.nodes:
-                self._emit_node(node, out)
+                self._emit_node(node, out, pending_fills)
             while loop_depth and loop_depth[-1].last == idx:
                 loop_depth.pop()
                 out.indent -= 1
         out.emit("return None")
         return out.source()
 
-    def _emit_node(self, node, out: _SourceBuilder) -> None:
+    def _emit_fills(self, node, out: _SourceBuilder, pending: set) -> None:
+        if not pending:
+            return
+        if isinstance(node, Kernel):
+            touched = pending.intersection(
+                node.read_fields() + node.written_fields()
+            )
+        elif isinstance(node, Callback):
+            if node.reads is None or node.writes is None:
+                touched = set(pending)  # unknown contact: fill everything
+            else:
+                touched = pending.intersection(
+                    set(node.reads) | set(node.writes)
+                )
+        else:
+            return
+        for name in sorted(touched):
+            out.emit(f"{name}.fill(0)")
+            pending.discard(name)
+
+    def _emit_node(self, node, out: _SourceBuilder, pending_fills: set) -> None:
+        self._emit_fills(node, out, pending_fills)
         if isinstance(node, Kernel):
             kidx = len(self.kernel_labels)
             self.kernel_labels.append(node.label)
             out.emit(f"# kernel {node.label}")
             if self.instrument:
                 out.emit("__t0 = __perf_counter()")
-            _kernel_source(node, self.sdfg, out)
+            _kernel_source(node, self.sdfg, out, self._plan,
+                           self._sched_enabled)
             if self.instrument:
                 out.emit(f"__KT[{kidx}] += __perf_counter() - __t0")
                 out.emit(f"__KC[{kidx}] += 1")
@@ -426,13 +948,28 @@ class CompiledSDFG:
         arrays: Optional[Dict[str, np.ndarray]] = None,
         scalars: Optional[Dict[str, float]] = None,
     ) -> None:
-        merged = dict(self._transients)
-        if arrays:
-            merged.update(arrays)
-        missing = [n for n in self.sdfg.arrays if n not in merged]
+        arrays = arrays or {}
+        missing = [n for n in self._required if n not in arrays]
         if missing:
             raise ValueError(f"missing arrays for containers: {missing}")
-        self._program(merged, scalars or {}, self._kernel_time, self._kernel_count)
+        pool = get_pool()
+        merged = dict(arrays)
+        transient_bufs: List[np.ndarray] = []
+        for name, shape, dtype in self._transient_specs:
+            if name in merged:
+                continue  # caller-provided transient storage wins
+            buf = pool.checkout(shape, dtype)
+            transient_bufs.append(buf)
+            merged[name] = buf
+        bufs = pool.checkout_many(self._buffer_specs)
+        try:
+            self._program(
+                merged, scalars or {}, self._kernel_time, self._kernel_count,
+                bufs,
+            )
+        finally:
+            pool.release_many(bufs)
+            pool.release_many(transient_bufs)
 
     @property
     def kernel_times(self) -> Dict[str, Tuple[float, int]]:
@@ -451,13 +988,15 @@ class CompiledSDFG:
 
 
 def _replace_word(code: str, name: str, repl: str) -> str:
-    import re
-
     return re.sub(rf"\b{re.escape(name)}\b", repl, code)
 
 
 def compile_sdfg(sdfg, instrument: bool = False) -> CompiledSDFG:
-    """Expand (if needed) and compile an SDFG into a callable program."""
+    """Expand (if needed) and compile an SDFG into a callable program.
+
+    Prefer :func:`repro.runtime.compile_cache.get_or_compile` on hot paths:
+    it memoizes compilation on the SDFG's content hash.
+    """
     if any(state.library_nodes for state in sdfg.states):
         sdfg.expand_library_nodes()
     return CompiledSDFG(sdfg, instrument=instrument)

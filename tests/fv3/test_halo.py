@@ -169,3 +169,55 @@ def test_shape_validation():
         updater.update_scalar([np.zeros((4, 4))] * 6)
     with pytest.raises(ValueError):
         updater.update_scalar([np.zeros((14, 14))] * 5)
+
+
+def test_exchange_buffers_are_persistent_and_reused():
+    """Gather plans are static per (rank, phase): every message must reuse
+    one persistent pack buffer across update calls instead of allocating."""
+    p = CubedSpherePartitioner(npx=8, layout=1)
+    updater = HaloUpdater(p, n_halo=H)
+    rng = np.random.default_rng(0)
+    fields = [rng.random((8 + 2 * H, 8 + 2 * H)) for _ in range(p.total_ranks)]
+    updater.update_scalar(fields)
+    bufs_after_first = dict(updater._bufs)
+    assert bufs_after_first  # buffers were created
+    updater.update_scalar(fields)
+    assert set(updater._bufs) == set(bufs_after_first)
+    for key, buf in updater._bufs.items():
+        assert buf is bufs_after_first[key], key
+
+
+def test_exchange_buffers_rebuilt_on_field_rank_change():
+    """The same updater serves 2D and 3D fields: buffers re-key by the
+    trailing shape, and results stay correct."""
+    p = CubedSpherePartitioner(npx=8, layout=1)
+    updater = HaloUpdater(p, n_halo=H)
+    rng = np.random.default_rng(1)
+    f2 = [rng.random((8 + 2 * H, 8 + 2 * H)) for _ in range(p.total_ranks)]
+    f3 = [rng.random((8 + 2 * H, 8 + 2 * H, 4)) for _ in range(p.total_ranks)]
+    ref2 = [f.copy() for f in f2]
+    ref3 = [f.copy() for f in f3]
+    fresh = HaloUpdater(p, n_halo=H)
+    fresh.update_scalar(ref2)
+    HaloUpdater(p, n_halo=H).update_scalar(ref3)
+    updater.update_scalar(f2)
+    updater.update_scalar(f3)  # reshapes every buffer
+    for got, want in zip(f2, ref2):
+        np.testing.assert_array_equal(got, want)
+    for got, want in zip(f3, ref3):
+        np.testing.assert_array_equal(got, want)
+
+
+def test_noncontiguous_fields_fall_back_to_fancy_gather():
+    """A transposed (non-contiguous) field must still exchange correctly
+    through the slow-path gather."""
+    p = CubedSpherePartitioner(npx=8, layout=1)
+    rng = np.random.default_rng(2)
+    base = [rng.random((8 + 2 * H, 8 + 2 * H)) for _ in range(p.total_ranks)]
+    ref = [f.copy() for f in base]
+    HaloUpdater(p, n_halo=H).update_scalar(ref)
+    weird = [np.asfortranarray(f) for f in base]
+    assert not weird[0].flags["C_CONTIGUOUS"]
+    HaloUpdater(p, n_halo=H).update_scalar(weird)
+    for got, want in zip(weird, ref):
+        np.testing.assert_array_equal(got, want)

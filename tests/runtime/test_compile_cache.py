@@ -1,0 +1,115 @@
+"""Unit tests for the compiled-program cache (repro.runtime.compile_cache)."""
+
+import numpy as np
+import pytest
+
+from repro.dsl import Field, PARALLEL, computation, interval, stencil
+from repro.dsl.backend_dataflow import DataflowStencilExecutor
+from repro.runtime import compile_cache as cc
+
+
+@pytest.fixture(autouse=True)
+def _clean_cache():
+    cc.reset(clear=True)
+    yield
+    cc.reset(clear=True)
+
+
+@stencil
+def _axpy(a: Field, b: Field, out: Field):
+    with computation(PARALLEL), interval(...):
+        out = a * 2.0 + b
+
+
+def _build_sdfg(domain=(6, 6, 3)):
+    ex = DataflowStencilExecutor(_axpy)
+    shapes = {n: (8, 8, 4) for n in ("a", "b", "out")}
+    return ex.build_sdfg(
+        shapes, {n: np.float64 for n in shapes}, (0, 0, 0), domain
+    )
+
+
+def test_content_equal_sdfgs_share_a_program():
+    p1 = cc.get_or_compile(_build_sdfg())
+    p2 = cc.get_or_compile(_build_sdfg())
+    assert p2 is p1
+    stats = cc.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1
+    assert stats["entries"] == 1
+    assert stats["bytes_saved"] == p1.runtime_bytes > 0
+
+
+def test_different_content_misses():
+    cc.get_or_compile(_build_sdfg((6, 6, 3)))
+    cc.get_or_compile(_build_sdfg((5, 6, 3)))
+    stats = cc.stats()
+    assert stats["hits"] == 0 and stats["misses"] == 2
+
+
+def test_instrument_flag_is_part_of_the_key():
+    p1 = cc.get_or_compile(_build_sdfg(), instrument=False)
+    p2 = cc.get_or_compile(_build_sdfg(), instrument=True)
+    assert p2 is not p1
+    assert cc.stats()["misses"] == 2
+
+
+def test_cache_key_is_deterministic():
+    k1 = cc.cache_key(_build_sdfg())
+    k2 = cc.cache_key(_build_sdfg())
+    assert k1 == k2
+    assert k1 != cc.cache_key(_build_sdfg((5, 6, 3)))
+
+
+def test_disabled_cache_compiles_fresh(monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILE_CACHE", "0")
+    p1 = cc.get_or_compile(_build_sdfg())
+    p2 = cc.get_or_compile(_build_sdfg())
+    assert p2 is not p1
+    assert cc.stats()["hits"] == 0 and cc.stats()["misses"] == 0
+
+
+def test_lru_eviction(monkeypatch):
+    monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", "2")
+    cc.get_or_compile(_build_sdfg((6, 6, 3)))
+    cc.get_or_compile(_build_sdfg((5, 6, 3)))
+    cc.get_or_compile(_build_sdfg((4, 6, 3)))  # evicts the (6, 6, 3) entry
+    assert cc.stats()["entries"] == 2
+    cc.get_or_compile(_build_sdfg((6, 6, 3)))
+    assert cc.stats()["misses"] == 4  # recompiled after eviction
+
+
+def test_cached_program_results_are_correct():
+    sdfg = _build_sdfg()
+    prog = cc.get_or_compile(sdfg)
+    rng = np.random.default_rng(0)
+    a = rng.random((8, 8, 4))
+    b = rng.random((8, 8, 4))
+    out = np.zeros((8, 8, 4))
+    cc.get_or_compile(_build_sdfg())(arrays={"a": a, "b": b, "out": out})
+    np.testing.assert_array_equal(out[:6, :6, :3], (a * 2.0 + b)[:6, :6, :3])
+    assert cc.stats()["hits"] == 1
+
+
+def test_tuning_loop_shows_cache_hits_in_obs_report():
+    """Repeated candidate timings hit the cache, visible as sdfg.compile
+    spans with cache=hit and in the report footer."""
+    import json
+
+    from repro import obs
+    from repro.obs.report import report, to_json
+    from repro.sdfg.cutout import Cutout, time_cutout
+
+    sdfg = _build_sdfg()
+    cut = Cutout(sdfg, inputs=["a", "b"], outputs=["out"],
+                 source_state=sdfg.states[0].name)
+    obs.enable()
+    try:
+        time_cutout(cut, repetitions=1)
+        time_cutout(cut, repetitions=1)
+    finally:
+        obs.disable()
+    assert cc.stats()["hits"] >= 1
+    payload = json.loads(to_json())
+    assert payload["runtime"]["compile_cache"]["hits"] >= 1
+    text = report()
+    assert "compile cache:" in text

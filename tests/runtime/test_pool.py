@@ -1,0 +1,112 @@
+"""Unit tests for the scratch buffer arena (repro.runtime.pool)."""
+
+import numpy as np
+import pytest
+
+from repro.runtime.pool import BufferPool, get_pool
+
+
+def test_checkout_release_roundtrip_reuses_buffer():
+    pool = BufferPool()
+    a = pool.checkout((4, 3))
+    pool.release(a)
+    b = pool.checkout((4, 3))
+    assert b is a
+    assert pool.reuse_hits == 1
+    assert pool.allocations == 1
+
+
+def test_live_buffers_never_alias():
+    pool = BufferPool()
+    a = pool.checkout((8, 8))
+    b = pool.checkout((8, 8))
+    assert a is not b
+    a[...] = 1.0
+    b[...] = 2.0
+    assert float(a[0, 0]) == 1.0  # no shared storage
+    pool.release(a)
+    pool.release(b)
+    # after release both come back, still distinct objects
+    c = pool.checkout((8, 8))
+    d = pool.checkout((8, 8))
+    assert c is not d
+    assert {id(c), id(d)} == {id(a), id(b)}
+
+
+def test_keying_is_exact_shape_and_dtype():
+    pool = BufferPool()
+    a = pool.checkout((4, 4))
+    pool.release(a)
+    assert pool.checkout((4, 4), np.float32) is not a
+    assert pool.checkout((2, 8)) is not a  # same size, different shape
+    assert pool.checkout((4, 4)) is a
+
+
+def test_double_release_raises():
+    pool = BufferPool()
+    a = pool.checkout((2, 2))
+    pool.release(a)
+    with pytest.raises(ValueError, match="released twice"):
+        pool.release(a)
+
+
+def test_releasing_a_view_raises():
+    pool = BufferPool()
+    a = pool.checkout((4, 4))
+    with pytest.raises(ValueError, match="view"):
+        pool.release(a[:2])
+    pool.release(a)
+
+
+def test_high_water_and_byte_accounting():
+    pool = BufferPool()
+    nbytes = 4 * 4 * 8
+    a = pool.checkout((4, 4))
+    b = pool.checkout((4, 4))
+    assert pool.live_bytes == 2 * nbytes
+    assert pool.high_water_bytes == 2 * nbytes
+    pool.release(a)
+    pool.release(b)
+    assert pool.live_bytes == 0
+    assert pool.idle_bytes == 2 * nbytes
+    c = pool.checkout((4, 4))
+    assert pool.alloc_bytes_avoided == nbytes
+    stats = pool.stats()
+    assert stats["checkouts"] == 3
+    assert stats["allocations"] == 2
+    assert stats["high_water_bytes"] == 2 * nbytes
+    pool.release(c)
+
+
+def test_checkout_many_release_many():
+    pool = BufferPool()
+    specs = [((3, 3), np.dtype(np.float64)), ((2,), np.dtype(np.int64))]
+    bufs = pool.checkout_many(specs)
+    assert [b.shape for b in bufs] == [(3, 3), (2,)]
+    assert [b.dtype for b in bufs] == [np.float64, np.int64]
+    pool.release_many(bufs)
+    again = pool.checkout_many(specs)
+    assert [id(b) for b in again] == [id(b) for b in bufs]
+
+
+def test_recycling_disabled_still_accounts():
+    pool = BufferPool(recycle=False)
+    a = pool.checkout((4, 4))
+    pool.release(a)
+    b = pool.checkout((4, 4))
+    assert b is not a
+    assert pool.reuse_hits == 0
+    assert pool.allocations == 2
+
+
+def test_clear_drops_idle_buffers():
+    pool = BufferPool()
+    a = pool.checkout((4, 4))
+    pool.release(a)
+    pool.clear()
+    assert pool.idle_bytes == 0
+    assert pool.checkout((4, 4)) is not a
+
+
+def test_process_pool_is_shared():
+    assert get_pool() is get_pool()

@@ -203,3 +203,149 @@ def test_instrumented_kernel_times():
     assert len(times) == 1
     (total, count), = times.values()
     assert count == 1 and total > 0.0
+
+
+# ---------------------------------------------------------------------------
+# out=-scheduled emission (buffer-pooled runtime)
+# ---------------------------------------------------------------------------
+
+
+def test_k_field_read_in_forward_computation():
+    """Regression: a K-only field read at a fixed level used to hit a dead
+    broadcast branch in ``_ExprEmitter.access_2d``."""
+    from repro.dsl import FieldK
+
+    @stencil
+    def kscale(a: Field, coef: FieldK, out: Field):
+        with computation(FORWARD), interval(...):
+            out = a * coef + out[0, 0, -1]
+
+    arrays = {
+        "a": _rand((5, 4, 4)),
+        "coef": _rand((4,), seed=1) + 0.5,
+        "out": np.zeros((5, 4, 4)),
+    }
+    _assert_equal(
+        *_run_both(kscale, arrays, origin=(0, 0, 1), domain=(5, 4, 3))
+    )
+
+
+def test_k_field_generated_source_broadcasts():
+    """The emitted K-axis access must be a (1, 1) view, not a 0-d scalar
+    subscripted with np.newaxis (which would raise)."""
+    from repro.dsl import FieldK
+    from repro.dsl.backend_dataflow import DataflowStencilExecutor
+    from repro.sdfg.codegen import compile_sdfg
+
+    @stencil
+    def kcopy(a: Field, coef: FieldK, out: Field):
+        with computation(FORWARD), interval(...):
+            out = a * coef
+
+    ex = DataflowStencilExecutor(kcopy)
+    sdfg = ex.build_sdfg(
+        {"a": (3, 3, 2), "coef": (2,), "out": (3, 3, 2)},
+        {n: np.float64 for n in ("a", "coef", "out")},
+        (0, 0, 0),
+        (3, 3, 2),
+    )
+    prog = compile_sdfg(sdfg)
+    assert "[np.newaxis, np.newaxis, __k" in prog.source
+
+
+def test_repeated_calls_do_not_see_stale_scratch():
+    """Pooled scratch is reused across calls; results must not depend on
+    what a previous call left in the buffers (masked writes, read-before-
+    write temporaries)."""
+    @stencil
+    def masked(a: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            if a > 0.5:
+                t = a * 2.0
+            out = t + a
+
+    shape = (6, 5, 4)
+    first = {"a": _rand(shape), "out": np.zeros(shape)}
+    second = {"a": _rand(shape, seed=9), "out": np.zeros(shape)}
+    # pollute the pool with a run on different data, then verify the next
+    # run still matches the debug backend exactly
+    poll = {k: v.copy() for k, v in first.items()}
+    masked(**poll, backend="dataflow", origin=(0, 0, 0), domain=shape)
+    _assert_equal(
+        *_run_both(masked, second, origin=(0, 0, 0), domain=shape)
+    )
+
+
+def test_out_scheduling_toggle_is_bit_exact(monkeypatch):
+    """REPRO_OUT_SCHEDULING=0 restores nested-expression emission; both
+    emission modes must agree exactly."""
+    import repro.runtime.compile_cache as cc
+    from repro.dsl.backend_dataflow import DataflowStencilExecutor
+    from repro.sdfg.codegen import compile_sdfg
+
+    @stencil
+    def flux(a: Field, cr: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            out = (a[1, 0, 0] - a) * cr + a * 0.5 - min(a, cr) * abs(cr)
+
+    ex = DataflowStencilExecutor(flux)
+    shapes = {n: (7, 6, 3) for n in ("a", "cr", "out")}
+    sdfg = ex.build_sdfg(
+        shapes, {n: np.float64 for n in shapes}, (0, 0, 0), (6, 6, 3)
+    )
+    arrays = {
+        "a": _rand((7, 6, 3)),
+        "cr": _rand((7, 6, 3), seed=2) - 0.5,
+        "out": np.zeros((7, 6, 3)),
+    }
+    sched = {k: v.copy() for k, v in arrays.items()}
+    prog = compile_sdfg(sdfg)
+    assert "out=" in prog.source
+    prog(arrays=sched)
+
+    monkeypatch.setenv("REPRO_OUT_SCHEDULING", "0")
+    plain = {k: v.copy() for k, v in arrays.items()}
+    prog0 = compile_sdfg(sdfg)
+    assert "out=" not in prog0.source
+    prog0(arrays=plain)
+    np.testing.assert_array_equal(sched["out"], plain["out"])
+
+
+def test_compiled_program_reports_runtime_bytes():
+    from repro.dsl.backend_dataflow import DataflowStencilExecutor
+    from repro.sdfg.codegen import compile_sdfg
+
+    @stencil
+    def axpy(a: Field, b: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            out = a * 2.0 + b
+
+    ex = DataflowStencilExecutor(axpy)
+    shapes = {n: (8, 8, 4) for n in ("a", "b", "out")}
+    sdfg = ex.build_sdfg(
+        shapes, {n: np.float64 for n in shapes}, (0, 0, 0), (8, 8, 4)
+    )
+    prog = compile_sdfg(sdfg)
+    # at least one float64 full-domain scratch slot was planned
+    assert prog.runtime_bytes >= 8 * 8 * 4 * 8
+
+
+def test_missing_container_error_is_precomputed():
+    from repro.dsl.backend_dataflow import DataflowStencilExecutor
+    from repro.sdfg.codegen import compile_sdfg
+
+    @stencil
+    def copy(a: Field, b: Field):
+        with computation(PARALLEL), interval(...):
+            b = a
+
+    ex = DataflowStencilExecutor(copy)
+    sdfg = ex.build_sdfg(
+        {"a": (3, 3, 2), "b": (3, 3, 2)},
+        {"a": np.float64, "b": np.float64},
+        (0, 0, 0),
+        (3, 3, 2),
+    )
+    prog = compile_sdfg(sdfg)
+    with pytest.raises(ValueError, match="missing arrays for containers"):
+        prog(arrays={"a": np.zeros((3, 3, 2))})
