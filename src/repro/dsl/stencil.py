@@ -14,14 +14,19 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from repro import resilience as _resilience
 from repro.dsl import backends
 from repro.dsl.backend_numpy import GridBounds
 from repro.dsl.extents import compute_extents
 from repro.dsl.frontend import parse_stencil
 from repro.dsl.ir import StencilDef
 from repro.obs import tracer as _obs
+from repro.resilience import chaos as _chaos
 
 _TRACER = _obs.get_tracer()
+
+#: the bit-exact debug backend failed compiled backends re-execute on
+FALLBACK_BACKEND = "numpy"
 
 
 def __getattr__(name: str):
@@ -95,18 +100,40 @@ class StencilObject:
         origin, domain = self._resolve_domain(fields, origin, domain)
         self._validate(fields, origin, domain)
         backend_name = backend or self.backend
-        executor = self._executor(backend_name)
         if not _TRACER.enabled:
-            executor(fields, scalars, origin, domain, bounds)
+            self._execute(backend_name, fields, scalars, origin, domain,
+                          bounds)
             return
         from repro.obs.metrics import stencil_traffic_bytes
 
         with _TRACER.span(f"stencil.{self.name}") as sp:
-            executor(fields, scalars, origin, domain, bounds)
+            self._execute(backend_name, fields, scalars, origin, domain,
+                          bounds)
             ni, nj, nk = domain
             sp.add("points", ni * nj * nk)
             sp.add("bytes", stencil_traffic_bytes(self, fields, domain))
             sp.set("backend", backend_name)
+
+    def _execute(self, backend_name, fields, scalars, origin, domain,
+                 bounds) -> None:
+        """Run on ``backend_name``; degrade to the NumPy debug backend
+        when a compiled backend raises (real failure or injected
+        ``compile.fail``). Executor *creation* errors (unknown backend
+        names) stay outside the degraded path and propagate."""
+        executor = self._executor(backend_name)
+        try:
+            executor(fields, scalars, origin, domain, bounds)
+        except Exception as exc:
+            if (
+                backend_name == FALLBACK_BACKEND
+                or not _resilience.fallback_enabled()
+            ):
+                raise
+            _resilience.record_fallback(self.name, backend_name, exc)
+            fallback = self._executor(FALLBACK_BACKEND)
+            fallback(fields, scalars, origin, domain, bounds)
+        if _chaos._PLAN is not None:
+            _chaos.maybe_nanflip(self.definition, fields)
 
     # ------------------------------------------------------------------
     def _bind_arguments(self, args, kwargs):

@@ -6,14 +6,37 @@ preserves the *communication pattern*: data is exchanged through packed
 contiguous buffers with explicit ``Isend``/``Irecv``/``wait`` lifecycles
 (the mpi4py buffer idiom), and every message's byte count is recorded so
 the network model can replay the exchange at scale (Fig. 11).
+
+Failure semantics (the resilience layer, PR 4):
+
+- ``Request.wait`` on a receive *polls* with a bounded budget
+  (``max_polls``) instead of crashing on the first unmatched probe, so
+  a delayed message is simply re-polled; an exhausted budget raises
+  :class:`~repro.resilience.errors.HaloTimeoutError` naming the ranks,
+  tag, phase and the mailbox keys still pending.
+- The chaos harness can drop, delay or corrupt individual messages at
+  the ``halo.drop`` / ``halo.delay`` / ``halo.corrupt`` sites — every
+  ``Isend`` consults the active plan (one ``is None`` check when chaos
+  is off).
+- ``finalize()`` reports sent-but-never-received messages, closing the
+  silent mailbox leak; ``drain()`` clears in-flight state so an aborted
+  exchange can be retried cleanly.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
+
+from repro.resilience import chaos as _chaos
+from repro.resilience import record as _record
+from repro.resilience.chaos import DEFAULT_DELAY_POLLS
+from repro.resilience.errors import HaloTimeoutError, OrphanedMessagesWarning
+
+_Key = Tuple[int, int, int]  # (source, dest, tag)
 
 
 @dataclasses.dataclass
@@ -25,31 +48,65 @@ class MessageRecord:
 
 
 class Request:
-    """Completion handle for a nonblocking operation."""
+    """Completion handle for a nonblocking operation.
 
-    def __init__(self, comm: "LocalComm", kind: str, key, buf):
+    Semantics of the two kinds:
+
+    - ``recv``: ``wait()`` polls for the matching send (bounded by
+      ``comm.max_polls``) and copies the payload into the posted buffer;
+      ``test()`` is true once the payload is deliverable.
+    - ``send``: the transport copies eagerly, so ``wait()`` returns
+      immediately (the buffer is reusable). ``test()`` before ``wait()``
+      reports *delivery*: false while the message still sits undelivered
+      in the mailbox, true once the receiver picked it up. After
+      ``wait()`` it is true unconditionally (mpi4py semantics: the
+      operation — buffer hand-off — is complete).
+    """
+
+    def __init__(self, comm: "LocalComm", kind: str, key: _Key, buf,
+                 dropped: bool = False):
         self._comm = comm
         self._kind = kind
         self._key = key
         self._buf = buf
         self._done = False
+        self._dropped = dropped
 
     def wait(self) -> None:
         if self._done:
             return
         if self._kind == "recv":
-            payload = self._comm._mailbox.pop(self._key, None)
-            if payload is None:
-                raise RuntimeError(
-                    f"Irecv {self._key}: no matching Isend was posted"
-                )
-            np.copyto(self._buf, payload.reshape(self._buf.shape))
+            comm = self._comm
+            key = self._key
+            polls = 0
+            while True:
+                if comm._deliverable(key):
+                    payload = comm._mailbox.pop(key)
+                    np.copyto(self._buf, payload.reshape(self._buf.shape))
+                    if polls:
+                        _record("halo_redeliveries")
+                    break
+                polls += 1
+                if polls > comm.max_polls:
+                    source, dest, tag = key
+                    raise HaloTimeoutError(
+                        source=source,
+                        dest=dest,
+                        tag=tag,
+                        polls=comm.max_polls,
+                        pending=comm.pending(),
+                    )
         self._done = True
 
     def test(self) -> bool:
-        if self._kind == "recv" and not self._done:
-            return self._key in self._comm._mailbox
-        return True
+        if self._done:
+            return True
+        if self._kind == "recv":
+            return self._comm._deliverable(self._key)
+        # send: complete once the receiver drained the mailbox slot (a
+        # dropped message never occupied one — the fault is invisible to
+        # the sender, as on a real network)
+        return self._dropped or self._key not in self._comm._mailbox
 
 
 class LocalComm:
@@ -60,10 +117,35 @@ class LocalComm:
     sends, then complete all receives.
     """
 
+    #: receive-poll budget before an unmatched wait raises
+    max_polls: int = 8
+
     def __init__(self, size: int):
         self.size = size
-        self._mailbox: Dict[Tuple[int, int, int], np.ndarray] = {}
+        self._mailbox: Dict[_Key, np.ndarray] = {}
+        #: keys whose delivery is withheld for N more polls (chaos)
+        self._delays: Dict[_Key, int] = {}
         self.log: List[MessageRecord] = []
+
+    # ---- delivery progress ----------------------------------------------
+
+    def _deliverable(self, key: _Key) -> bool:
+        """Whether ``key`` can be delivered now; each miss on a delayed
+        key advances its countdown (the poll *is* the progress engine)."""
+        remaining = self._delays.get(key)
+        if remaining is not None:
+            if remaining <= 1:
+                del self._delays[key]
+            else:
+                self._delays[key] = remaining - 1
+            return False
+        return key in self._mailbox
+
+    def pending(self) -> List[_Key]:
+        """Sorted (source, dest, tag) triples still in the mailbox."""
+        return sorted(self._mailbox)
+
+    # ---- nonblocking operations -----------------------------------------
 
     def Isend(self, buf: np.ndarray, source: int, dest: int, tag: int = 0) -> Request:
         if not (0 <= dest < self.size):
@@ -71,12 +153,72 @@ class LocalComm:
         key = (source, dest, tag)
         if key in self._mailbox:
             raise RuntimeError(f"message {key} already in flight")
-        self._mailbox[key] = np.ascontiguousarray(buf).copy()
         self.log.append(MessageRecord(source, dest, buf.nbytes, tag))
+        if _chaos._PLAN is not None:
+            if _chaos.consult(
+                "halo.drop", source=source, dest=dest, tag=tag
+            ):
+                # the message vanishes in transit: bytes left the source
+                # (already logged) but the mailbox never sees them
+                return Request(self, "send", key, buf, dropped=True)
+            payload = np.ascontiguousarray(buf).copy()
+            fault = _chaos.consult(
+                "halo.corrupt", source=source, dest=dest, tag=tag
+            )
+            if fault is not None:
+                index = _chaos.get_plan().rng("halo.corrupt.index").randrange(
+                    payload.size
+                )
+                payload.flat[index] = np.nan
+                fault.detail["index"] = index
+            if _chaos.consult(
+                "halo.delay", source=source, dest=dest, tag=tag
+            ):
+                self._delays[key] = DEFAULT_DELAY_POLLS
+            self._mailbox[key] = payload
+            return Request(self, "send", key, buf)
+        self._mailbox[key] = np.ascontiguousarray(buf).copy()
         return Request(self, "send", key, buf)
 
     def Irecv(self, buf: np.ndarray, source: int, dest: int, tag: int = 0) -> Request:
         return Request(self, "recv", (source, dest, tag), buf)
+
+    # ---- lifecycle -------------------------------------------------------
+
+    def drain(self) -> List[_Key]:
+        """Drop all in-flight messages (and pending delays), returning
+        the orphaned (source, dest, tag) triples.
+
+        Called after an aborted exchange so the retry can repost every
+        send without tripping the duplicate-key check.
+        """
+        orphans = self.pending()
+        self._mailbox.clear()
+        self._delays.clear()
+        return orphans
+
+    def finalize(self, strict: bool = False) -> List[_Key]:
+        """Drain check at teardown: report sent-but-never-received
+        messages instead of leaking them silently.
+
+        Returns the orphaned (source, dest, tag) triples; warns about
+        them (:class:`OrphanedMessagesWarning`), or raises when
+        ``strict`` is set.
+        """
+        orphans = self.drain()
+        if orphans:
+            _record("orphaned_messages", len(orphans))
+            triples = ", ".join(
+                f"(src={s}, dst={d}, tag={t})" for s, d, t in orphans
+            )
+            message = (
+                f"{len(orphans)} message(s) sent but never received: "
+                f"{triples}"
+            )
+            if strict:
+                raise RuntimeError(message)
+            warnings.warn(message, OrphanedMessagesWarning, stacklevel=2)
+        return orphans
 
     # ---- statistics for the network model -------------------------------
 

@@ -1,12 +1,26 @@
 """The dynamical core driver (Fig. 2): physics step → remapping loop →
-acoustic loop, plus tracer advection and vertical remapping."""
+acoustic loop, plus tracer advection and vertical remapping.
+
+With a :class:`~repro.resilience.ResilienceConfig` attached, every
+remapping step runs under a rollback/retry harness: the state is
+snapshotted, the step advances, the state guard scans for blowup, and
+any recoverable fault (guard trip under the ``rollback`` policy, halo
+timeout, injected fault) restores the snapshot and re-advances — up to
+a bounded retry budget with exponential backoff. Because injected
+faults fire once per planned occurrence and the model is deterministic,
+a recovered run finishes bit-identical to a fault-free one.
+"""
 
 from __future__ import annotations
 
+import pathlib
+import time as _time
+import warnings
 from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro import resilience as _resilience
 from repro.fv3 import constants
 from repro.fv3.acoustics import AcousticDynamics
 from repro.fv3.config import DynamicalCoreConfig
@@ -23,6 +37,18 @@ from repro.fv3.stencils.fvtp2d import FiniteVolumeTransport
 from repro.fv3.stencils.remapping import LagrangianToEulerian
 from repro.fv3.stencils.tracer2d import TracerAdvection
 from repro.obs import tracer as _obs
+from repro.resilience import (
+    GuardError,
+    GuardWarning,
+    RecoverableFault,
+    ResilienceConfig,
+    RetriesExhaustedError,
+    Snapshot,
+    StateGuard,
+    chaos as _chaos,
+    load_checkpoint,
+    save_checkpoint,
+)
 
 _TRACER = _obs.get_tracer()
 
@@ -40,6 +66,7 @@ class DynamicalCore:
         config: DynamicalCoreConfig,
         n_halo: int = constants.N_HALO,
         init=baroclinic_state,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         self.config = config
         self.h = n_halo
@@ -73,15 +100,124 @@ class DynamicalCore:
             np.zeros_like(s.delp) for s in self.states
         ]
         self.time = 0.0
+        self.step_count = 0
+        self.resilience = resilience
+        self._guard: Optional[StateGuard] = (
+            StateGuard(resilience.guard) if resilience is not None else None
+        )
 
     # ------------------------------------------------------------------
     def step_dynamics(self) -> None:
-        """Advance the model by one physics time step (Fig. 2 outer box)."""
+        """Advance the model by one physics time step (Fig. 2 outer box).
+
+        Without a resilience config this is the original straight-line
+        path — no snapshots, no guard scans, zero overhead.
+        """
         cfg = self.config
         with _TRACER.span("dyncore.step"):
-            for _ in range(cfg.k_split):
-                self._remapping_step(cfg.dt_remap)
+            if self.resilience is None:
+                for _ in range(cfg.k_split):
+                    self._remapping_step(cfg.dt_remap)
+            else:
+                _chaos.set_step(self.step_count)
+                for _ in range(cfg.k_split):
+                    self._guarded_remapping_step(cfg.dt_remap)
         self.time += cfg.dt_atmos
+        self.step_count += 1
+        self._maybe_periodic_checkpoint()
+
+    def _guarded_remapping_step(self, dt_remap: float) -> None:
+        """One remapping step under the rollback/retry harness."""
+        res = self.resilience
+        snapshot = Snapshot.capture(self.states, self.time, self.step_count)
+        attempt = 0
+        while True:
+            failure: Optional[BaseException] = None
+            try:
+                self._remapping_step(dt_remap)
+                violations = self._guard.check_states(
+                    self.states, step=self.step_count
+                )
+                if violations:
+                    _resilience.record("guard_trips")
+                    policy = res.guard.policy
+                    if policy == "warn":
+                        warnings.warn(
+                            str(GuardError(violations)), GuardWarning,
+                            stacklevel=3,
+                        )
+                    elif policy == "raise":
+                        # GuardError is not a RecoverableFault, so it
+                        # escapes the retry loop and fails the run
+                        raise GuardError(violations)
+                    else:  # rollback
+                        failure = GuardError(violations)
+            except RecoverableFault as exc:
+                failure = exc
+            if failure is None:
+                return
+            attempt += 1
+            _resilience.record("retries")
+            if attempt > res.max_retries:
+                raise RetriesExhaustedError(
+                    self.step_count, attempt - 1, failure
+                ) from failure
+            with _TRACER.span("dyncore.rollback"):
+                _resilience.record("rollbacks")
+                # drop messages stranded by an aborted exchange so the
+                # re-advance can repost every send cleanly
+                self.halo.comm.drain()
+                snapshot.restore(self.states)
+                self.time = snapshot.time
+            if res.backoff_base > 0.0:
+                _time.sleep(res.backoff_base * 2 ** (attempt - 1))
+
+    # ------------------------------------------------------------------
+    # checkpoint/restart
+    # ------------------------------------------------------------------
+    def save_checkpoint(self, path=None) -> pathlib.Path:
+        """Write a versioned on-disk checkpoint (see
+        :mod:`repro.resilience.checkpoint`); returns the written path."""
+        if path is None:
+            res = self.resilience
+            if res is None or not res.checkpoint_dir:
+                raise ValueError(
+                    "no path given and no checkpoint_dir configured"
+                )
+            path = (
+                pathlib.Path(res.checkpoint_dir)
+                / f"ckpt_step{self.step_count:06d}.npz"
+            )
+        written = save_checkpoint(
+            path, self.states, self.time, self.step_count,
+            extra_meta={"npx": self.config.npx, "npz": self.config.npz,
+                        "layout": self.config.layout},
+        )
+        _resilience.record("checkpoints_saved")
+        return written
+
+    def restore_checkpoint(self, path) -> Dict[str, object]:
+        """Restore all rank states, model time and step counter from a
+        checkpoint file; returns its metadata."""
+        meta = load_checkpoint(path, self.states)
+        self.time = float(meta["time"])
+        self.step_count = int(meta["step"])
+        _resilience.record("checkpoints_restored")
+        return meta
+
+    def _maybe_periodic_checkpoint(self) -> None:
+        res = self.resilience
+        if (
+            res is not None
+            and res.checkpoint_every > 0
+            and self.step_count % res.checkpoint_every == 0
+        ):
+            self.save_checkpoint()
+
+    def finalize(self, strict: bool = False):
+        """Teardown: run the halo updater's drain check for orphaned
+        messages; returns the orphaned (source, dest, tag) triples."""
+        return self.halo.finalize(strict=strict)
 
     def _remapping_step(self, dt_remap: float) -> None:
         cfg = self.config

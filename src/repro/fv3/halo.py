@@ -30,6 +30,8 @@ from repro.fv3.partitioner import (
     CubedSpherePartitioner,
 )
 from repro.obs import tracer as _obs
+from repro.resilience import record as _record
+from repro.resilience.errors import HaloTimeoutError
 
 _TRACER = _obs.get_tracer()
 
@@ -231,9 +233,18 @@ class HaloUpdater:
                         tag=phase * 1000 + pi,
                     )
                     requests.append((rank, plan, buf, req))
-            for rank, plan, buf, req in requests:
-                req.wait()
-                fields[rank][plan.dst_i, plan.dst_j] = buf
+            try:
+                for rank, plan, buf, req in requests:
+                    req.wait()
+                    fields[rank][plan.dst_i, plan.dst_j] = buf
+            except HaloTimeoutError as exc:
+                # the tag encoding is ours, so the phase is named here;
+                # drain the aborted exchange so a retry can repost every
+                # send without tripping the duplicate-key check
+                exc.phase = phase
+                _record("halo_timeouts")
+                comm.drain()
+                raise
             sp.add("messages", messages)
             sp.add("bytes", nbytes)
 
@@ -300,6 +311,17 @@ class HaloUpdater:
                 self._exchange_phase(u_fields, phase)
                 self._exchange_phase(v_fields, phase)
                 self._rotate_vectors((u_fields, v_fields), phase)
+
+    def finalize(self, strict: bool = False):
+        """Teardown drain check: report sent-but-never-received messages
+        (the mailbox leak) and drop the persistent pack buffers.
+
+        Returns the orphaned (source, dest, tag) triples from
+        :meth:`LocalComm.finalize`.
+        """
+        orphans = self.comm.finalize(strict=strict)
+        self._bufs.clear()
+        return orphans
 
     def _check(self, fields) -> None:
         p = self.partitioner

@@ -39,6 +39,7 @@ def to_json(tracer: Optional[Tracer] = None, indent: Optional[int] = 2) -> str:
         "machine": observed_machine().name,
         "spans": [snapshot(c) for c in tracer.root.children.values()],
         "runtime": _runtime_summary(),
+        "resilience": _resilience_summary(),
     }
     return json.dumps(payload, indent=indent)
 
@@ -49,6 +50,12 @@ def _runtime_summary() -> Dict[str, Dict[str, object]]:
     from repro.runtime import runtime_summary
 
     return runtime_summary()
+
+
+def _resilience_summary() -> Dict[str, object]:
+    from repro.resilience import summary
+
+    return summary()
 
 
 def _bandwidth_cells(node: Span, machine: MachineModel) -> str:
@@ -108,6 +115,7 @@ def report(
     for child in tracer.root.children.values():
         _render(child, 0, lines, machine)
     lines.extend(_runtime_lines())
+    lines.extend(_resilience_lines())
     return "\n".join(lines)
 
 
@@ -133,5 +141,39 @@ def _runtime_lines() -> List[str]:
             f"(rate {100 * cache['hit_rate']:.0f}%), "
             f"{cache['entries']} programs cached, "
             f"{cache['bytes_saved'] / 1e6:.1f} MB working-set reuse"
+        )
+    return lines
+
+
+def _resilience_lines() -> List[str]:
+    """Footer summarizing recovery activity, shown once any fault was
+    injected or any recovery action taken."""
+    rs = _resilience_summary()
+    counters = rs["counters"]
+    injected = rs["chaos"]["injected_total"]
+    if not injected and not any(counters.values()):
+        return []
+    lines: List[str] = []
+    if injected:
+        by_site = ", ".join(
+            f"{site}={n}" for site, n in sorted(rs["chaos"]["injected"].items())
+        )
+        lines.append(
+            f"chaos: {injected} fault(s) injected "
+            f"(seed {rs['chaos']['seed']}: {by_site})"
+        )
+    shown = [
+        (name, counters[name])
+        for name in (
+            "guard_trips", "rollbacks", "retries", "fallbacks",
+            "halo_timeouts", "halo_redeliveries", "orphaned_messages",
+            "checkpoints_saved", "checkpoints_restored",
+        )
+        if counters.get(name)
+    ]
+    if shown:
+        lines.append(
+            "resilience: "
+            + ", ".join(f"{n} {name}" for name, n in shown)
         )
     return lines

@@ -1,0 +1,183 @@
+"""Checkpoint/restart: bit-exact snapshots of the dynamical-core state.
+
+Two mechanisms, same contents (every prognostic array of every rank,
+the model time and the step counter; the model carries no RNG state):
+
+- :class:`Snapshot` — an in-memory copy used by the rollback/retry loop.
+  Capture and restore are plain ``np.copyto`` round-trips, so a restored
+  state is bit-identical to the captured one.
+- :func:`save_checkpoint` / :func:`load_checkpoint` — a versioned
+  on-disk ``.npz`` snapshot for restart across processes. The format is
+  flat: a ``__meta__`` JSON header (format version, time, step, rank
+  count, tracer count) plus ``r{rank}_{field}`` / ``r{rank}_tracer{t}``
+  arrays. Loading validates the format version and the array shapes
+  against the receiving model before touching any state, so a failed
+  restore never leaves a half-written model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.resilience.errors import CheckpointError
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "Snapshot",
+    "checkpoint_meta",
+    "load_checkpoint",
+    "save_checkpoint",
+]
+
+CHECKPOINT_VERSION = 1
+
+#: per-rank prognostic arrays, in serialization order
+STATE_FIELDS = ("u", "v", "w", "pt", "delp", "delz")
+
+
+@dataclasses.dataclass
+class Snapshot:
+    """In-memory bit-exact copy of all rank states."""
+
+    arrays: List[Dict[str, np.ndarray]]
+    tracers: List[List[np.ndarray]]
+    time: float
+    step: int
+
+    @classmethod
+    def capture(cls, states: Sequence, time: float, step: int) -> "Snapshot":
+        return cls(
+            arrays=[
+                {f: getattr(s, f).copy() for f in STATE_FIELDS}
+                for s in states
+            ],
+            tracers=[[t.copy() for t in s.tracers] for s in states],
+            time=time,
+            step=step,
+        )
+
+    def restore(self, states: Sequence) -> None:
+        """Copy the captured contents back into ``states`` in place."""
+        if len(states) != len(self.arrays):
+            raise CheckpointError(
+                f"snapshot holds {len(self.arrays)} ranks, "
+                f"model has {len(states)}"
+            )
+        for state, fields, tracers in zip(states, self.arrays, self.tracers):
+            for name, arr in fields.items():
+                np.copyto(getattr(state, name), arr)
+            for dst, src in zip(state.tracers, tracers):
+                np.copyto(dst, src)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(
+            a.nbytes for fields in self.arrays for a in fields.values()
+        ) + sum(t.nbytes for ts in self.tracers for t in ts)
+
+
+# ---------------------------------------------------------------------------
+# on-disk format
+# ---------------------------------------------------------------------------
+
+
+def save_checkpoint(
+    path,
+    states: Sequence,
+    time: float,
+    step: int,
+    extra_meta: Optional[Dict[str, object]] = None,
+) -> pathlib.Path:
+    """Write a versioned ``.npz`` checkpoint; returns the written path."""
+    path = pathlib.Path(path)
+    n_tracers = len(states[0].tracers) if states else 0
+    meta = {
+        "version": CHECKPOINT_VERSION,
+        "time": float(time),
+        "step": int(step),
+        "n_ranks": len(states),
+        "n_tracers": n_tracers,
+        "fields": list(STATE_FIELDS),
+    }
+    if extra_meta:
+        meta.update(extra_meta)
+    payload: Dict[str, np.ndarray] = {
+        "__meta__": np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        ).copy()
+    }
+    for r, state in enumerate(states):
+        for name in STATE_FIELDS:
+            payload[f"r{r}_{name}"] = getattr(state, name)
+        for t, tracer in enumerate(state.tracers):
+            payload[f"r{r}_tracer{t}"] = tracer
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez(path, **payload)
+    return path
+
+
+def checkpoint_meta(path) -> Dict[str, object]:
+    """The metadata header of a checkpoint file (version-checked)."""
+    with np.load(pathlib.Path(path)) as data:
+        return _read_meta(data, path)
+
+
+def _read_meta(data, path) -> Dict[str, object]:
+    if "__meta__" not in data:
+        raise CheckpointError(f"{path}: not a repro checkpoint (no header)")
+    try:
+        meta = json.loads(bytes(data["__meta__"]).decode())
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise CheckpointError(f"{path}: corrupt header: {exc}") from exc
+    version = meta.get("version")
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path}: checkpoint format version {version!r} is not "
+            f"supported (this build reads version {CHECKPOINT_VERSION})"
+        )
+    return meta
+
+
+def load_checkpoint(path, states: Sequence) -> Dict[str, object]:
+    """Restore ``states`` in place from a checkpoint file.
+
+    Validates the header and *every* array shape before writing into any
+    state array; returns the metadata dict (``time``/``step`` for the
+    caller to adopt).
+    """
+    path = pathlib.Path(path)
+    with np.load(path) as data:
+        meta = _read_meta(data, path)
+        if meta["n_ranks"] != len(states):
+            raise CheckpointError(
+                f"{path}: checkpoint has {meta['n_ranks']} ranks, "
+                f"model has {len(states)}"
+            )
+        # validate everything up front: a restore is all-or-nothing
+        for r, state in enumerate(states):
+            if len(state.tracers) != meta["n_tracers"]:
+                raise CheckpointError(
+                    f"{path}: checkpoint has {meta['n_tracers']} tracers, "
+                    f"rank {r} has {len(state.tracers)}"
+                )
+            for name in STATE_FIELDS:
+                key = f"r{r}_{name}"
+                if key not in data:
+                    raise CheckpointError(f"{path}: missing array {key!r}")
+                if data[key].shape != getattr(state, name).shape:
+                    raise CheckpointError(
+                        f"{path}: array {key!r} shape {data[key].shape} "
+                        f"does not match model shape "
+                        f"{getattr(state, name).shape}"
+                    )
+        for r, state in enumerate(states):
+            for name in STATE_FIELDS:
+                np.copyto(getattr(state, name), data[f"r{r}_{name}"])
+            for t in range(meta["n_tracers"]):
+                np.copyto(state.tracers[t], data[f"r{r}_tracer{t}"])
+    return meta

@@ -23,6 +23,8 @@ from collections import OrderedDict
 from typing import Dict
 
 from repro.obs import tracer as _obs
+from repro.resilience import chaos as _chaos
+from repro.resilience.errors import InjectedCompileError
 
 __all__ = ["get_or_compile", "cache_key", "stats", "reset"]
 
@@ -131,6 +133,17 @@ def get_or_compile(sdfg, instrument: bool = False):
     global _HITS, _MISSES, _BYTES_SAVED
 
     from repro.sdfg.codegen import compile_sdfg
+
+    if _chaos._PLAN is not None:
+        fault = _chaos.consult(
+            "compile.fail", sdfg=getattr(sdfg, "name", "?")
+        )
+        if fault is not None:
+            raise InjectedCompileError(
+                fault.site, fault.occurrence,
+                f"chaos-forced compile failure for SDFG "
+                f"{getattr(sdfg, 'name', '?')!r}",
+            )
 
     if not _enabled():
         return compile_sdfg(sdfg, instrument=instrument)

@@ -32,6 +32,8 @@ from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
+from repro.resilience import chaos as _chaos
+
 __all__ = ["BufferPool", "get_pool"]
 
 _Key = Tuple[Tuple[int, ...], str]
@@ -74,6 +76,8 @@ class BufferPool:
                 self.alloc_bytes_avoided += buf.nbytes
                 self.idle_bytes -= buf.nbytes
                 self.live_bytes += buf.nbytes
+                if _chaos._PLAN is not None:
+                    _chaos.maybe_poison(buf)
                 return buf
         buf = np.empty(shape, dtype=dtype)
         with self._lock:
@@ -83,6 +87,8 @@ class BufferPool:
             self.high_water_bytes = max(
                 self.high_water_bytes, self.live_bytes + self.idle_bytes
             )
+        if _chaos._PLAN is not None:
+            _chaos.maybe_poison(buf)
         return buf
 
     def release(self, buf: np.ndarray) -> None:

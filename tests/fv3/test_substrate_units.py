@@ -128,11 +128,32 @@ def test_localcomm_send_copies_buffer():
 
 def test_localcomm_unmatched_recv_raises():
     comm = LocalComm(2)
+    comm.Isend(np.zeros(2), source=1, dest=0, tag=9)  # unrelated pending
     buf = np.zeros(3)
     req = comm.Irecv(buf, source=0, dest=1, tag=3)
     assert not req.test()
-    with pytest.raises(RuntimeError, match="no matching Isend"):
+    with pytest.raises(RuntimeError) as excinfo:
         req.wait()
+    # the error names the ranks, the tag and the pending mailbox keys
+    message = str(excinfo.value)
+    assert "rank 0" in message and "rank 1" in message
+    assert "tag 3" in message
+    assert "(src=1, dst=0, tag=9)" in message
+
+
+def test_localcomm_send_test_reports_delivery():
+    comm = LocalComm(2)
+    req = comm.Isend(np.arange(3.0), source=0, dest=1, tag=2)
+    # undelivered: the message still sits in the mailbox
+    assert not req.test()
+    buf = np.zeros(3)
+    comm.Irecv(buf, source=0, dest=1, tag=2).wait()
+    assert req.test()
+    # wait() always completes a send (the transport copied eagerly)
+    req2 = comm.Isend(np.arange(3.0), source=0, dest=1, tag=4)
+    req2.wait()
+    assert req2.test()
+    comm.drain()
 
 
 def test_localcomm_duplicate_message_rejected():

@@ -1,0 +1,20 @@
+"""Resilience-suite fixtures: every test runs with a clean chaos plan
+and zeroed recovery counters, and restores whatever was active before
+(so a ``REPRO_CHAOS=… python -m pytest`` run keeps its plan outside this
+directory)."""
+
+import pytest
+
+from repro import resilience
+from repro.resilience import chaos
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    previous = chaos.set_plan(None)
+    resilience.reset()
+    try:
+        yield
+    finally:
+        chaos.set_plan(previous)
+        resilience.reset()

@@ -1,0 +1,141 @@
+"""Chaos plan: spec grammar, deterministic firing, exact replay."""
+
+import pytest
+
+from repro.resilience import chaos
+from repro.resilience.chaos import ChaosPlan, ChaosRule
+from repro.resilience.errors import ChaosSpecError
+
+
+# ---------------------------------------------------------------------------
+# spec grammar
+# ---------------------------------------------------------------------------
+
+def test_spec_occurrences():
+    plan = ChaosPlan.from_spec("seed=42;halo.drop@3;pool.poison@2,5")
+    assert plan.seed == 42
+    assert plan.rules["halo.drop"] == ChaosRule(at=(3,))
+    assert plan.rules["pool.poison"] == ChaosRule(at=(2, 5))
+
+
+def test_spec_periodic_and_probabilistic():
+    plan = ChaosPlan.from_spec("compile.fail@4+10;stencil.nanflip:p=0.25")
+    assert plan.rules["compile.fail"] == ChaosRule(start=4, period=10)
+    assert plan.rules["stencil.nanflip"] == ChaosRule(p=0.25)
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "halo.drop@0",            # occurrences are 1-based
+        "halo.drop@x",
+        "halo.drop@3+0",
+        "halo.drop:p=1.5",
+        "halo.drop:q=1",
+        "just-a-word",
+        "halo.drop@1;halo.drop@2",  # duplicate site
+        "seed=12",                  # no site rules at all
+        "",
+    ],
+)
+def test_spec_rejects(bad):
+    with pytest.raises(ChaosSpecError):
+        ChaosPlan.from_spec(bad)
+
+
+def test_unknown_site_warns():
+    with pytest.warns(UserWarning, match="unknown site"):
+        ChaosPlan.from_spec("halo.dorp@1")
+
+
+# ---------------------------------------------------------------------------
+# firing and records
+# ---------------------------------------------------------------------------
+
+def test_occurrence_rule_fires_exactly_once():
+    plan = ChaosPlan.from_spec("seed=1;halo.drop@3")
+    fired = [bool(plan.consult("halo.drop")) for _ in range(10)]
+    assert fired == [False, False, True] + [False] * 7
+    (fault,) = plan.injected
+    assert (fault.site, fault.occurrence) == ("halo.drop", 3)
+
+
+def test_periodic_rule():
+    plan = ChaosPlan.from_spec("pool.poison@2+3")
+    fired = [bool(plan.consult("pool.poison")) for _ in range(9)]
+    assert fired == [False, True, False, False, True, False, False, True,
+                     False]
+
+
+def test_consult_records_step_and_detail():
+    plan = ChaosPlan.from_spec("halo.corrupt@1")
+    chaos.set_plan(plan)
+    chaos.set_step(7)
+    fault = chaos.consult("halo.corrupt", source=1, dest=2, tag=9)
+    assert fault is not None
+    assert fault.step == 7
+    assert fault.detail == {"source": 1, "dest": 2, "tag": 9}
+    fault.detail["index"] = 13  # call sites may enrich the record
+    assert plan.trace()[0]["detail"]["index"] == 13
+
+
+def test_unruled_site_never_fires_but_is_counted():
+    plan = ChaosPlan.from_spec("halo.drop@1")
+    for _ in range(5):
+        assert plan.consult("pool.poison") is None
+    assert plan.consults("pool.poison") == 5
+    assert plan.counts() == {}
+
+
+# ---------------------------------------------------------------------------
+# determinism and replay
+# ---------------------------------------------------------------------------
+
+def _drive(plan, n=200):
+    """A fixed consult pattern over two sites."""
+    fired = []
+    for i in range(n):
+        site = "halo.drop" if i % 3 else "stencil.nanflip"
+        if plan.consult(site):
+            fired.append((site, plan.consults(site)))
+    return fired
+
+
+def test_probabilistic_rule_is_seed_deterministic():
+    spec = "seed=1234;halo.drop:p=0.1;stencil.nanflip:p=0.2"
+    a = _drive(ChaosPlan.from_spec(spec))
+    b = _drive(ChaosPlan.from_spec(spec))
+    assert a and a == b
+    c = _drive(ChaosPlan.from_spec(spec.replace("1234", "99")))
+    assert a != c
+
+
+def test_replay_spec_pins_probabilistic_run():
+    plan = ChaosPlan.from_spec("seed=7;halo.drop:p=0.15")
+    fired = _drive(plan)
+    replay = ChaosPlan.from_spec(plan.replay_spec())
+    assert _drive(replay) == fired
+    assert replay.counts() == plan.counts()
+
+
+def test_module_level_plan_management():
+    assert not chaos.active()
+    assert chaos.consult("halo.drop") is None  # no plan: never fires
+    plan = ChaosPlan.from_spec("halo.drop@1")
+    previous = chaos.set_plan(plan)
+    assert previous is None
+    assert chaos.active() and chaos.get_plan() is plan
+    assert chaos.consult("halo.drop")
+    chaos.clear_plan()
+    assert not chaos.active()
+
+
+def test_env_spec_parsing(monkeypatch):
+    monkeypatch.setenv("REPRO_CHAOS", "seed=5;halo.drop@2")
+    saved = chaos.get_plan()
+    try:
+        chaos._init_from_env()
+        plan = chaos.get_plan()
+        assert plan.seed == 5 and "halo.drop" in plan.rules
+    finally:
+        chaos.set_plan(saved)
