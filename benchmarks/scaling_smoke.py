@@ -1,0 +1,219 @@
+"""CI scaling smoke: threaded rank execution must hide simulated network
+latency.
+
+Runs a short baroclinic-wave integration under a simulated per-message
+network latency (``LocalComm(latency=…)``) at 1, 2 and 6 rank workers
+and asserts:
+
+1. the three runs are bit-identical (threading changes wall time, never
+   the answer);
+2. the 6-worker run is at least ``TARGET_SPEEDUP`` times faster than the
+   sequential run — message aggregation plus compute/communication
+   overlap actually hides the latency;
+3. the obs report for a traced 6-worker run carries the rank-executor
+   and halo-overlap footer lines;
+4. the 1-rank compute path (fvtp2d) is within noise of the recorded
+   ``BENCH_PR3.json`` baseline — the split halo API and the executor
+   hooks cost nothing when sequential.
+
+Writes ``BENCH_PR5.json`` with the timings, speedups and overlap
+metrics.
+
+Run:  PYTHONPATH=src python benchmarks/scaling_smoke.py
+"""
+
+import json
+import os
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(0, str(pathlib.Path(__file__).parent))
+
+#: simulated per-message one-way network latency, seconds
+LATENCY = float(os.environ.get("REPRO_BENCH_LATENCY", "0.2"))
+STEPS = 1
+WORKER_COUNTS = (1, 2, 6)
+TARGET_SPEEDUP = float(os.environ.get("REPRO_BENCH_TARGET", "2.5"))
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+BASELINE = ROOT / "BENCH_PR3.json"
+OUT = ROOT / "BENCH_PR5.json"
+#: generous CI-noise bound for the sequential-path fvtp2d check
+NOISE_FACTOR = 2.0
+
+FIELDS = ("u", "v", "w", "pt", "delp", "delz")
+
+
+def _make_core(workers):
+    from repro.fv3.config import DynamicalCoreConfig
+    from repro.fv3.dyncore import DynamicalCore
+    from repro.runtime import ranks
+
+    cfg = DynamicalCoreConfig(
+        npx=12, npz=4, layout=1, dt_atmos=120.0, k_split=1, n_split=4,
+        n_tracers=1,
+    )
+    ex = ranks.RankExecutor(workers)
+    core = DynamicalCore(cfg, executor=ex)
+    core.halo.comm.latency = LATENCY
+    # widen the receive absence budget: rank threads legitimately sit
+    # out several simulated-latency windows while neighbors drain
+    core.halo.comm.max_polls = 40
+    return core, ex
+
+
+def _run(workers):
+    from repro.runtime import ranks
+
+    core, ex = _make_core(workers)
+    try:
+        ranks.reset_metrics()
+        t0 = time.perf_counter()
+        for _ in range(STEPS):
+            core.step_dynamics()
+        elapsed = time.perf_counter() - t0
+        summary = ranks.summary()
+    finally:
+        ex.shutdown()
+    assert core.halo.comm.pending() == [], "orphaned halo messages"
+    return core, elapsed, summary
+
+
+def _warm_up():
+    """Populate the process-wide compile cache so the timed runs only
+    measure stepping (no latency, one step, sequential)."""
+    core, ex = _make_core(1)
+    core.halo.comm.latency = 0.0
+    try:
+        core.step_dynamics()
+    finally:
+        ex.shutdown()
+
+
+def scaling():
+    cores, seconds, summaries = {}, {}, {}
+    for workers in WORKER_COUNTS:
+        cores[workers], seconds[workers], summaries[workers] = _run(workers)
+        print(
+            f"workers={workers}: {seconds[workers]:.3f}s "
+            f"for {STEPS} steps (latency {1e3 * LATENCY:.1f} ms/msg)"
+        )
+
+    base = WORKER_COUNTS[0]
+    for workers in WORKER_COUNTS[1:]:
+        for rank, (a, b) in enumerate(
+            zip(cores[base].states, cores[workers].states)
+        ):
+            for f in FIELDS:
+                np.testing.assert_array_equal(
+                    getattr(a, f), getattr(b, f),
+                    err_msg=f"workers={workers} rank {rank} field {f} "
+                    f"diverged from sequential",
+                )
+            for t, (ta, tb) in enumerate(zip(a.tracers, b.tracers)):
+                np.testing.assert_array_equal(
+                    ta, tb,
+                    err_msg=f"workers={workers} rank {rank} tracer {t}",
+                )
+    print(f"state         : bit-identical across workers {WORKER_COUNTS}")
+
+    speedups = {w: seconds[base] / seconds[w] for w in WORKER_COUNTS}
+    for w in WORKER_COUNTS[1:]:
+        print(f"speedup x{w}    : {speedups[w]:.2f}")
+    top = WORKER_COUNTS[-1]
+    assert speedups[top] >= TARGET_SPEEDUP, (
+        f"{top}-worker speedup {speedups[top]:.2f} below the "
+        f"{TARGET_SPEEDUP}x target — latency is not being hidden"
+    )
+    return seconds, speedups, summaries[top]
+
+
+def traced_report():
+    """A traced 6-worker run: the report footer must surface the rank
+    executor and the overlap efficiency."""
+    from repro import obs
+    from repro.runtime import ranks
+
+    tracer = obs.get_tracer()
+    tracer.reset()
+    tracer.enable()
+    try:
+        _, _, summary = _run(WORKER_COUNTS[-1])
+        text = obs.report(tracer)
+    finally:
+        tracer.disable()
+    assert "rank executor:" in text, "missing rank-executor footer"
+    assert "halo overlap:" in text, "missing halo-overlap footer"
+    footer = [
+        line for line in text.splitlines()
+        if line.startswith(("rank executor:", "halo overlap:"))
+    ]
+    print("\n".join(footer))
+    return summary
+
+
+def sequential_overhead():
+    """fvtp2d on the sequential path, vs the recorded PR3 baseline."""
+    from bench_table2_fvtp2d import _build
+
+    if not BASELINE.exists():
+        print("no BENCH_PR3.json baseline — skipping overhead check")
+        return None
+    recorded = json.loads(BASELINE.read_text())["fvtp2d"]["median_ms"]
+
+    module, prog, args = _build(64, 20)
+    prog.compile(instrument=True)
+    prog(*args)  # warm-up
+    times = []
+    for _ in range(10):
+        t0 = time.perf_counter()
+        prog(*args)
+        times.append(time.perf_counter() - t0)
+    median_ms = 1e3 * float(np.median(times))
+    print(f"fvtp2d median : {median_ms:.1f} ms "
+          f"(baseline {recorded:.1f} ms, bound {NOISE_FACTOR}x)")
+    assert median_ms <= NOISE_FACTOR * recorded, (
+        f"sequential-path fvtp2d regressed: {median_ms:.1f} ms vs "
+        f"baseline {recorded:.1f} ms"
+    )
+    return {"median_ms": median_ms, "baseline_ms": recorded}
+
+
+def main():
+    print("== warm-up (compile cache) ==")
+    _warm_up()
+    print("\n== latency-hiding scaling ==")
+    seconds, speedups, overlap = scaling()
+    print("\n== traced overlap report ==")
+    traced = traced_report()
+    print("\n== sequential-path overhead ==")
+    overhead = sequential_overhead()
+
+    payload = {
+        "benchmark": "pr5_scaling_smoke",
+        "config": {
+            "npx": 12, "npz": 4, "layout": 1, "k_split": 1, "n_split": 4,
+            "steps": STEPS, "latency_s": LATENCY,
+        },
+        "seconds_by_workers": {str(w): s for w, s in seconds.items()},
+        "speedup_by_workers": {str(w): s for w, s in speedups.items()},
+        "target_speedup": TARGET_SPEEDUP,
+        "overlap": {
+            "exchanges": overlap["exchanges"],
+            "hidden_seconds": overlap["hidden_seconds"],
+            "exposed_seconds": overlap["exposed_seconds"],
+            "overlap_efficiency": overlap["overlap_efficiency"],
+        },
+        "traced_overlap_efficiency": traced["overlap_efficiency"],
+        "fvtp2d": overhead,
+    }
+    OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUT.name}")
+    print("scaling smoke: PASS")
+    return payload
+
+
+if __name__ == "__main__":
+    main()

@@ -32,6 +32,7 @@ from repro.fv3.stencils.fvtp2d import FiniteVolumeTransport
 from repro.fv3.stencils.riem_solver_c import RiemannSolverC
 from repro.fv3.stencils.tracer2d import accumulate_fluxes
 from repro.obs import tracer as _obs
+from repro.runtime import ranks as _ranks
 
 _TRACER = _obs.get_tracer()
 
@@ -70,6 +71,7 @@ class AcousticDynamics:
         states: List[RankFields],
         halo: HaloUpdater,
         n_halo: int = constants.N_HALO,
+        executor: "_ranks.RankExecutor | None" = None,
     ):
         self.config = config
         self.partitioner = partitioner
@@ -77,6 +79,14 @@ class AcousticDynamics:
         self.states = states
         self.halo = halo
         self.h = n_halo
+        self.executor = executor
+        # stable per-field rank lists for the split halo API (snapshots
+        # restore into these arrays in place, so the views stay valid)
+        self._u = [s.u for s in states]
+        self._v = [s.v for s in states]
+        self._delp = [s.delp for s in states]
+        self._pt = [s.pt for s in states]
+        self._w = [s.w for s in states]
         nx, ny, nk = partitioner.nx, partitioner.ny, config.npz
         self.work = [
             RankWorkspace(nx, ny, nk, n_halo)
@@ -107,7 +117,74 @@ class AcousticDynamics:
     def substep(self, dt: float) -> None:
         """One acoustic sub-step across all ranks."""
         with _TRACER.span("acoustics.substep"):
-            self._substep(dt)
+            ex = self.executor
+            if ex is not None and ex.parallel:
+                ex.run(
+                    lambda r: self._substep_rank(r, dt),
+                    self.partitioner.total_ranks,
+                    label="acoustics.substep",
+                )
+            else:
+                self._substep(dt)
+
+    def _substep_rank(self, rank: int, dt: float) -> None:
+        """SPMD body: one rank's acoustic sub-step on its own thread.
+
+        The Riemann solve reads and writes only w/δz/pt/δp — independent
+        of the winds — so with overlap enabled it runs inside the window
+        of the in-flight wind exchange. Reordering it against ``c_sw``
+        (which is also independent of it) leaves every floating-point
+        result bit-identical to the sequential path.
+        """
+        s, w = self.states[rank], self.work[rank]
+        halo = self.halo
+        hx = halo.start_vector(self._u, self._v, rank)
+        if _ranks.overlap_enabled():
+            # software-pipelined exchanges: riemann fills the wind
+            # exchange's phase-0 window; the transported scalars (which
+            # riemann just finished writing, and which c_sw never reads)
+            # go in flight on disjoint tag slots immediately after, so
+            # both scalar phases ride inside the wind exchange's waits.
+            # Per sub-step only the two wind phases are exposed. Every
+            # reordered pair is independent — c_sw still runs on
+            # completely filled u/v halos — so all results stay
+            # bit-identical to the sequential path.
+            self.riemann[rank](s.w, s.delz, s.pt, s.delp, w.pe_nh, dt)
+            sx = halo.start_scalars(
+                (self._delp, self._pt, self._w), rank, fslot_base=2
+            )
+            halo.advance(hx)
+            halo.advance(sx)
+            halo.finish_vector(hx)
+            self.c_sw[rank](
+                s.u, s.v, w.crx, w.cry, w.xfx, w.yfx, w.delpc, dt
+            )
+            halo.finish_scalars(sx)
+        else:
+            halo.finish_vector(hx)
+            self.riemann[rank](s.w, s.delz, s.pt, s.delp, w.pe_nh, dt)
+            self.c_sw[rank](
+                s.u, s.v, w.crx, w.cry, w.xfx, w.yfx, w.delpc, dt
+            )
+            sx = halo.start_scalars((self._delp, self._pt, self._w), rank)
+            halo.finish_scalars(sx)
+        self.d_sw[rank].transport_fields(
+            s.delp, s.pt, s.w, w.crx, w.cry, w.xfx, w.yfx
+        )
+        self.d_sw[rank].momentum(
+            s.u, s.v, s.pt, s.delp, s.delz, w.delpc, dt
+        )
+        self.d_sw[rank].damp_fields(s.delp, s.pt)
+        nx, ny, nk = (
+            self.partitioner.nx, self.partitioner.ny, self.config.npz,
+        )
+        accumulate_fluxes(
+            w.crx, w.cry, w.xfx, w.yfx,
+            w.crx_adv, w.cry_adv, w.xfx_adv, w.yfx_adv,
+            1.0,
+            origin=(0, 0, 0),
+            domain=(nx + 2 * self.h, ny + 2 * self.h, nk),
+        )
 
     def _substep(self, dt: float) -> None:
         states, work = self.states, self.work

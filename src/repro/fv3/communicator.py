@@ -7,25 +7,39 @@ contiguous buffers with explicit ``Isend``/``Irecv``/``wait`` lifecycles
 (the mpi4py buffer idiom), and every message's byte count is recorded so
 the network model can replay the exchange at scale (Fig. 11).
 
-Failure semantics (the resilience layer, PR 4):
+Concurrency (the threaded-ranks substrate, PR 5): the mailbox is a
+lock + condition-variable structure, safe against ranks running on the
+:class:`~repro.runtime.ranks.RankExecutor` thread pool.
 
-- ``Request.wait`` on a receive *polls* with a bounded budget
-  (``max_polls``) instead of crashing on the first unmatched probe, so
-  a delayed message is simply re-polled; an exhausted budget raises
+- ``Request.wait`` on a receive *blocks* on the condition variable until
+  the matching send lands (or a real-time budget of
+  ``max_polls * poll_interval`` seconds runs out, raising
   :class:`~repro.resilience.errors.HaloTimeoutError` naming the ranks,
-  tag, phase and the mailbox keys still pending.
-- The chaos harness can drop, delay or corrupt individual messages at
-  the ``halo.drop`` / ``halo.delay`` / ``halo.corrupt`` sites — every
-  ``Isend`` consults the active plan (one ``is None`` check when chaos
-  is off).
-- ``finalize()`` reports sent-but-never-received messages, closing the
-  silent mailbox leak; ``drain()`` clears in-flight state so an aborted
-  exchange can be retried cleanly.
+  tag, phase and the mailbox keys still pending).
+- ``Request.wait`` on a send blocks until the receiver drains the slot —
+  the documented ``test()`` semantics, now enforced rather than skipped.
+- Every message carries a *deliverable-at* instant: simulated network
+  latency (``latency`` / ``REPRO_NET_LATENCY``, seconds per message) and
+  chaos ``halo.delay`` are both delivery-time conditions on the message
+  itself, so seeded chaos replays are independent of how often a waiter
+  happens to wake.
+- The message log and the byte/size counters are guarded by the mailbox
+  lock, so obs accounting stays exact under concurrent ranks.
+
+Failure semantics (the resilience layer, PR 4) are unchanged: the chaos
+harness can drop, delay or corrupt individual messages at the
+``halo.drop`` / ``halo.delay`` / ``halo.corrupt`` sites (every ``Isend``
+consults the active plan — one ``is None`` check when chaos is off);
+``finalize()`` reports sent-but-never-received messages; ``drain()``
+clears in-flight state so an aborted exchange can be retried cleanly.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import os
+import threading
+import time
 import warnings
 from typing import Dict, List, Optional, Tuple
 
@@ -38,6 +52,18 @@ from repro.resilience.errors import HaloTimeoutError, OrphanedMessagesWarning
 
 _Key = Tuple[int, int, int]  # (source, dest, tag)
 
+# cached module reference for the compute-slot handoff around blocking
+# waits; imported lazily so loading the communicator alone stays light
+_ranks_mod = None
+
+
+def _io_wait():
+    global _ranks_mod
+    if _ranks_mod is None:
+        from repro.runtime import ranks
+        _ranks_mod = ranks
+    return _ranks_mod.io_wait()
+
 
 @dataclasses.dataclass
 class MessageRecord:
@@ -47,20 +73,41 @@ class MessageRecord:
     tag: int
 
 
+class _Message:
+    """One in-flight payload plus the instant it becomes deliverable.
+
+    ``delayed`` marks a chaos-withheld message so its eventual pickup is
+    counted as a redelivery — waiting on an ordinarily slow (latency)
+    message is not a recovery event.
+    """
+
+    __slots__ = ("payload", "deliverable_at", "delayed")
+
+    def __init__(self, payload: np.ndarray, deliverable_at: float,
+                 delayed: bool = False):
+        self.payload = payload
+        self.deliverable_at = deliverable_at
+        self.delayed = delayed
+
+
 class Request:
     """Completion handle for a nonblocking operation.
 
     Semantics of the two kinds:
 
-    - ``recv``: ``wait()`` polls for the matching send (bounded by
-      ``comm.max_polls``) and copies the payload into the posted buffer;
-      ``test()`` is true once the payload is deliverable.
-    - ``send``: the transport copies eagerly, so ``wait()`` returns
-      immediately (the buffer is reusable). ``test()`` before ``wait()``
-      reports *delivery*: false while the message still sits undelivered
-      in the mailbox, true once the receiver picked it up. After
-      ``wait()`` it is true unconditionally (mpi4py semantics: the
-      operation — buffer hand-off — is complete).
+    - ``recv``: ``wait()`` blocks until the matching send is deliverable
+      (bounded by ``comm.timeout`` seconds of *absence*; modeled latency
+      and chaos delays on a present message never count against the
+      budget) and copies the payload into the posted buffer. ``test()``
+      is true once the payload is deliverable.
+    - ``send``: the transport copies eagerly (the buffer is reusable the
+      moment ``Isend`` returns), but the *operation* completes only when
+      the receiver drains the slot: ``wait()`` blocks until then (or the
+      timeout budget expires), matching ``test()``, which reports
+      delivery — false while the message still sits undelivered in the
+      mailbox, true once the receiver picked it up. A dropped message
+      never occupied a slot, so its send completes immediately (the
+      fault is invisible to the sender, as on a real network).
     """
 
     def __init__(self, comm: "LocalComm", kind: str, key: _Key, buf,
@@ -72,78 +119,132 @@ class Request:
         self._done = False
         self._dropped = dropped
 
-    def wait(self) -> None:
+    def wait(self, timeout: Optional[float] = None) -> None:
         if self._done:
             return
         if self._kind == "recv":
-            comm = self._comm
-            key = self._key
-            polls = 0
-            while True:
-                if comm._deliverable(key):
-                    payload = comm._mailbox.pop(key)
-                    np.copyto(self._buf, payload.reshape(self._buf.shape))
-                    if polls:
-                        _record("halo_redeliveries")
-                    break
-                polls += 1
-                if polls > comm.max_polls:
-                    source, dest, tag = key
-                    raise HaloTimeoutError(
-                        source=source,
-                        dest=dest,
-                        tag=tag,
-                        polls=comm.max_polls,
-                        pending=comm.pending(),
-                    )
+            self._wait_recv(timeout)
+        else:
+            self._wait_send(timeout)
         self._done = True
+
+    def _wait_recv(self, timeout: Optional[float]) -> None:
+        comm, key = self._comm, self._key
+        budget = comm.timeout if timeout is None else timeout
+        deadline: Optional[float] = None
+        payload: Optional[np.ndarray] = None
+        delayed = False
+        with _io_wait():
+            with comm._cv:
+                while True:
+                    msg = comm._mailbox.get(key)
+                    now = time.monotonic()
+                    if msg is not None:
+                        if msg.deliverable_at <= now:
+                            del comm._mailbox[key]
+                            comm._cv.notify_all()
+                            payload = msg.payload
+                            delayed = msg.delayed
+                            break
+                        # present but in flight (modeled latency / chaos
+                        # delay): wake at the delivery instant — this
+                        # wait is not charged to the timeout budget
+                        comm._cv.wait(msg.deliverable_at - now)
+                        continue
+                    if deadline is None:
+                        deadline = now + budget
+                    elif now >= deadline:
+                        source, dest, tag = key
+                        raise HaloTimeoutError(
+                            source=source,
+                            dest=dest,
+                            tag=tag,
+                            polls=comm.max_polls,
+                            pending=sorted(comm._mailbox),
+                        )
+                    comm._cv.wait(min(comm.poll_interval, deadline - now))
+        np.copyto(self._buf, payload.reshape(self._buf.shape))
+        if delayed:
+            _record("halo_redeliveries")
+
+    def _wait_send(self, timeout: Optional[float]) -> None:
+        if self._dropped:
+            return
+        comm, key = self._comm, self._key
+        budget = comm.timeout if timeout is None else timeout
+        with _io_wait():
+            with comm._cv:
+                deadline = time.monotonic() + budget
+                while key in comm._mailbox:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        source, dest, tag = key
+                        raise HaloTimeoutError(
+                            source=source,
+                            dest=dest,
+                            tag=tag,
+                            polls=comm.max_polls,
+                            pending=sorted(comm._mailbox),
+                        )
+                    comm._cv.wait(min(comm.poll_interval, remaining))
 
     def test(self) -> bool:
         if self._done:
             return True
-        if self._kind == "recv":
-            return self._comm._deliverable(self._key)
-        # send: complete once the receiver drained the mailbox slot (a
-        # dropped message never occupied one — the fault is invisible to
-        # the sender, as on a real network)
-        return self._dropped or self._key not in self._comm._mailbox
+        comm = self._comm
+        with comm._lock:
+            msg = comm._mailbox.get(self._key)
+            if self._kind == "recv":
+                return msg is not None and (
+                    msg.deliverable_at <= time.monotonic()
+                )
+            return self._dropped or msg is None
 
 
 class LocalComm:
     """A communicator routing buffers between in-process ranks.
 
     Matching follows MPI semantics on (source, dest, tag). Sends deliver
-    eagerly (buffered), so the driver may run ranks sequentially: post all
-    sends, then complete all receives.
+    eagerly (buffered), so a driver may still run ranks sequentially —
+    post all sends, then complete all receives — while concurrent ranks
+    block productively on the condition variable.
+
+    ``latency`` (seconds, default ``REPRO_NET_LATENCY`` or 0) delays
+    every message's deliverable-at instant, modeling the network the
+    paper's Cray Aries interconnect provides: with it set, comm/compute
+    overlap becomes measurable in one process.
     """
 
-    #: receive-poll budget before an unmatched wait raises
+    #: receive budget, expressed as polls of ``poll_interval`` seconds so
+    #: the recorded ``HaloTimeoutError.polls`` stays meaningful
     max_polls: int = 8
+    #: condition-variable wake interval while a wanted key is absent
+    poll_interval: float = 0.05
 
-    def __init__(self, size: int):
+    def __init__(self, size: int, latency: Optional[float] = None):
         self.size = size
-        self._mailbox: Dict[_Key, np.ndarray] = {}
-        #: keys whose delivery is withheld for N more polls (chaos)
-        self._delays: Dict[_Key, int] = {}
+        if latency is None:
+            latency = float(os.environ.get("REPRO_NET_LATENCY", "0") or "0")
+        self.latency = latency
+        self._lock = threading.Lock()
+        self._cv = threading.Condition(self._lock)
+        self._mailbox: Dict[_Key, _Message] = {}
         self.log: List[MessageRecord] = []
 
-    # ---- delivery progress ----------------------------------------------
+    @property
+    def timeout(self) -> float:
+        """Seconds of absence a wait tolerates before raising."""
+        return self.max_polls * self.poll_interval
 
-    def _deliverable(self, key: _Key) -> bool:
-        """Whether ``key`` can be delivered now; each miss on a delayed
-        key advances its countdown (the poll *is* the progress engine)."""
-        remaining = self._delays.get(key)
-        if remaining is not None:
-            if remaining <= 1:
-                del self._delays[key]
-            else:
-                self._delays[key] = remaining - 1
-            return False
-        return key in self._mailbox
+    @property
+    def delay_seconds(self) -> float:
+        """How long a chaos ``halo.delay`` withholds delivery."""
+        return DEFAULT_DELAY_POLLS * self.poll_interval
 
     def pending(self) -> List[_Key]:
         """Sorted (source, dest, tag) triples still in the mailbox."""
-        return sorted(self._mailbox)
+        with self._lock:
+            return sorted(self._mailbox)
 
     # ---- nonblocking operations -----------------------------------------
 
@@ -151,33 +252,58 @@ class LocalComm:
         if not (0 <= dest < self.size):
             raise ValueError(f"invalid destination rank {dest}")
         key = (source, dest, tag)
-        if key in self._mailbox:
-            raise RuntimeError(f"message {key} already in flight")
-        self.log.append(MessageRecord(source, dest, buf.nbytes, tag))
+        record = MessageRecord(source, dest, buf.nbytes, tag)
+        dropped = False
+        delayed = False
+        payload: Optional[np.ndarray] = None
         if _chaos._PLAN is not None:
             if _chaos.consult(
                 "halo.drop", source=source, dest=dest, tag=tag
             ):
                 # the message vanishes in transit: bytes left the source
-                # (already logged) but the mailbox never sees them
-                return Request(self, "send", key, buf, dropped=True)
-            payload = np.ascontiguousarray(buf).copy()
-            fault = _chaos.consult(
-                "halo.corrupt", source=source, dest=dest, tag=tag
-            )
-            if fault is not None:
-                index = _chaos.get_plan().rng("halo.corrupt.index").randrange(
-                    payload.size
+                # (logged below) but the mailbox never sees them
+                dropped = True
+            else:
+                payload = np.ascontiguousarray(buf).copy()
+                fault = _chaos.consult(
+                    "halo.corrupt", source=source, dest=dest, tag=tag
                 )
-                payload.flat[index] = np.nan
-                fault.detail["index"] = index
-            if _chaos.consult(
-                "halo.delay", source=source, dest=dest, tag=tag
-            ):
-                self._delays[key] = DEFAULT_DELAY_POLLS
-            self._mailbox[key] = payload
-            return Request(self, "send", key, buf)
-        self._mailbox[key] = np.ascontiguousarray(buf).copy()
+                if fault is not None:
+                    index = _chaos.get_plan().rng(
+                        "halo.corrupt.index"
+                    ).randrange(payload.size)
+                    payload.flat[index] = np.nan
+                    fault.detail["index"] = index
+                if _chaos.consult(
+                    "halo.delay", source=source, dest=dest, tag=tag
+                ):
+                    delayed = True
+        if payload is None and not dropped:
+            payload = np.ascontiguousarray(buf).copy()
+        with _io_wait():
+            with self._cv:
+                self.log.append(record)
+                if dropped:
+                    return Request(self, "send", key, buf, dropped=True)
+                # an occupied slot means the receiver has not consumed the
+                # previous message on this key yet: block until it does
+                # (concurrent ranks) or the budget expires (a genuine
+                # duplicate post)
+                deadline: Optional[float] = None
+                while key in self._mailbox:
+                    now = time.monotonic()
+                    if deadline is None:
+                        deadline = now + self.timeout
+                    elif now >= deadline:
+                        raise RuntimeError(
+                            f"message {key} already in flight"
+                        )
+                    self._cv.wait(min(self.poll_interval, deadline - now))
+                at = time.monotonic() + self.latency
+                if delayed:
+                    at += self.delay_seconds
+                self._mailbox[key] = _Message(payload, at, delayed)
+                self._cv.notify_all()
         return Request(self, "send", key, buf)
 
     def Irecv(self, buf: np.ndarray, source: int, dest: int, tag: int = 0) -> Request:
@@ -186,15 +312,17 @@ class LocalComm:
     # ---- lifecycle -------------------------------------------------------
 
     def drain(self) -> List[_Key]:
-        """Drop all in-flight messages (and pending delays), returning
-        the orphaned (source, dest, tag) triples.
+        """Drop all in-flight messages (delays included — a delay is a
+        property of the message itself), returning the orphaned
+        (source, dest, tag) triples.
 
         Called after an aborted exchange so the retry can repost every
         send without tripping the duplicate-key check.
         """
-        orphans = self.pending()
-        self._mailbox.clear()
-        self._delays.clear()
+        with self._cv:
+            orphans = sorted(self._mailbox)
+            self._mailbox.clear()
+            self._cv.notify_all()
         return orphans
 
     def finalize(self, strict: bool = False) -> List[_Key]:
@@ -223,17 +351,22 @@ class LocalComm:
     # ---- statistics for the network model -------------------------------
 
     def reset_log(self) -> None:
-        self.log.clear()
+        with self._lock:
+            self.log.clear()
 
     def bytes_by_rank(self) -> Dict[int, int]:
         out: Dict[int, int] = {}
-        for rec in self.log:
+        with self._lock:
+            records = list(self.log)
+        for rec in records:
             out[rec.source] = out.get(rec.source, 0) + rec.nbytes
         return out
 
     def message_sizes(self, rank: Optional[int] = None) -> List[int]:
+        with self._lock:
+            records = list(self.log)
         return [
             rec.nbytes
-            for rec in self.log
+            for rec in records
             if rank is None or rec.source == rank
         ]

@@ -37,6 +37,7 @@ from repro.fv3.stencils.fvtp2d import FiniteVolumeTransport
 from repro.fv3.stencils.remapping import LagrangianToEulerian
 from repro.fv3.stencils.tracer2d import TracerAdvection
 from repro.obs import tracer as _obs
+from repro.runtime import ranks as _ranks
 from repro.resilience import (
     GuardError,
     GuardWarning,
@@ -67,11 +68,16 @@ class DynamicalCore:
         n_halo: int = constants.N_HALO,
         init=baroclinic_state,
         resilience: Optional[ResilienceConfig] = None,
+        executor: Optional[_ranks.RankExecutor] = None,
     ):
         self.config = config
         self.h = n_halo
         self.partitioner = CubedSpherePartitioner(config.npx, config.layout)
         self.halo = HaloUpdater(self.partitioner, n_halo=n_halo)
+        # the rank executor decides sequential vs SPMD stepping; the
+        # default reads REPRO_RANKS (1 → the original sequential path)
+        self.executor = executor if executor is not None \
+            else _ranks.get_executor()
         self.grids = [
             CubedSphereGrid.build(self.partitioner, rank, n_halo=n_halo)
             for rank in range(self.partitioner.total_ranks)
@@ -81,7 +87,7 @@ class DynamicalCore:
         ]
         self.acoustics = AcousticDynamics(
             config, self.partitioner, self.grids, self.states, self.halo,
-            n_halo=n_halo,
+            n_halo=n_halo, executor=self.executor,
         )
         bk, ptop = reference_coordinate(config)
         nx, ny, nk = self.partitioner.nx, self.partitioner.ny, config.npz
@@ -98,6 +104,11 @@ class DynamicalCore:
         ]
         self._delp_start = [
             np.zeros_like(s.delp) for s in self.states
+        ]
+        # stable per-tracer rank lists for the split halo API
+        self._tracer_fields = [
+            [s.tracers[tr] for s in self.states]
+            for tr in range(config.n_tracers)
         ]
         self.time = 0.0
         self.step_count = 0
@@ -222,6 +233,8 @@ class DynamicalCore:
     def _remapping_step(self, dt_remap: float) -> None:
         cfg = self.config
         nranks = self.partitioner.total_ranks
+        ex = self.executor
+        parallel = ex is not None and ex.parallel
         # snapshot δp for the tracer transport (consistent bracketing)
         for r in range(nranks):
             self._delp_start[r][:] = self.states[r].delp
@@ -229,41 +242,64 @@ class DynamicalCore:
         self.acoustics.run(cfg.dt_acoustic, cfg.n_split)
         # sub-cycled tracer advection with the accumulated transport
         with _TRACER.span("dyncore.tracer_advection"):
-            self._advect_tracers()
+            if parallel:
+                ex.run(self._advect_tracers_rank, nranks,
+                       label="tracer_advection")
+            else:
+                self._advect_tracers()
         # Lagrangian-to-Eulerian vertical remap
         with _TRACER.span("dyncore.vertical_remap"):
-            self._vertical_remap()
+            if parallel:
+                ex.run(self._vertical_remap_rank, nranks,
+                       label="vertical_remap")
+            else:
+                self._vertical_remap()
 
     def _advect_tracers(self) -> None:
         nranks = self.partitioner.total_ranks
-        work = self.acoustics.work
         self.halo.update_scalar(self._delp_start)
         for tr in range(self.config.n_tracers):
             self.halo.update_scalar([s.tracers[tr] for s in self.states])
         for r in range(nranks):
-            self.tracer_adv[r].prepare(
-                self._delp_start[r],
+            self._advect_tracers_compute(r)
+
+    def _advect_tracers_rank(self, r: int) -> None:
+        """SPMD body: one fused halo exchange of δp_start plus every
+        tracer (per-field tag slots), then this rank's advection."""
+        hx = self.halo.start_scalars(
+            [self._delp_start] + self._tracer_fields, r
+        )
+        self.halo.finish_scalars(hx)
+        self._advect_tracers_compute(r)
+
+    def _advect_tracers_compute(self, r: int) -> None:
+        work = self.acoustics.work
+        self.tracer_adv[r].prepare(
+            self._delp_start[r],
+            work[r].crx_adv, work[r].cry_adv,
+            work[r].xfx_adv, work[r].yfx_adv,
+        )
+        for tr in range(self.config.n_tracers):
+            self.tracer_adv[r](
+                self.states[r].tracers[tr], self._delp_start[r],
                 work[r].crx_adv, work[r].cry_adv,
                 work[r].xfx_adv, work[r].yfx_adv,
             )
-            for tr in range(self.config.n_tracers):
-                self.tracer_adv[r](
-                    self.states[r].tracers[tr], self._delp_start[r],
-                    work[r].crx_adv, work[r].cry_adv,
-                    work[r].xfx_adv, work[r].yfx_adv,
-                )
 
     def _vertical_remap(self) -> None:
         for r in range(self.partitioner.total_ranks):
-            state = self.states[r]
-            remap = self.remap[r]
-            remap.compute_levels(state.delp)
-            for field in (state.pt, state.u, state.v, state.w):
-                remap.remap_field(field)
-            for tracer in state.tracers:
-                remap.remap_field(tracer)
-            remap.finalize(state.delp)
-            self._recompute_delz(r)
+            self._vertical_remap_rank(r)
+
+    def _vertical_remap_rank(self, r: int) -> None:
+        state = self.states[r]
+        remap = self.remap[r]
+        remap.compute_levels(state.delp)
+        for field in (state.pt, state.u, state.v, state.w):
+            remap.remap_field(field)
+        for tracer in state.tracers:
+            remap.remap_field(tracer)
+        remap.finalize(state.delp)
+        self._recompute_delz(r)
 
     def _recompute_delz(self, rank: int) -> None:
         """Hydrostatic δz from the remapped temperature and pressures

@@ -18,6 +18,8 @@ buffers over the mpi4py-style communicator.
 from __future__ import annotations
 
 import dataclasses
+import threading
+import time
 from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
@@ -34,6 +36,48 @@ from repro.resilience import record as _record
 from repro.resilience.errors import HaloTimeoutError
 
 _TRACER = _obs.get_tracer()
+
+
+def _tag(fslot: int, phase: int, pi: int) -> int:
+    """Message tag for plan ``pi`` of ``phase``, field slot ``fslot``.
+
+    Slot 0 reproduces the historical ``phase * 1000 + pi`` encoding;
+    higher slots let one split exchange carry several fields (u/v, or
+    δp/pt/w) with disjoint (source, dest, tag) keys while all are in
+    flight concurrently.
+    """
+    return fslot * 10000 + phase * 1000 + pi
+
+
+def _record_overlap(hidden_seconds: float, exposed_seconds: float) -> None:
+    from repro.runtime import ranks as _ranks
+
+    _ranks.record_overlap(hidden_seconds, exposed_seconds)
+
+
+@dataclasses.dataclass
+class RankHaloExchange:
+    """An in-flight split exchange for one rank: phase-0 sends and
+    receives are posted; ``finish_*`` completes phase 0, runs phase 1
+    and (for vectors) the seam rotations.
+
+    Between ``start_*`` and ``finish_*`` the rank may compute anything
+    that does not read the halo cells of the exchanged fields — that
+    window is what hides the communication latency.
+    """
+
+    rank: int
+    slots: Tuple[Sequence[np.ndarray], ...]
+    vector: bool
+    reqs: List[tuple]
+    t_start: float
+    #: next phase to complete: 0 after ``start_*``, 1 after ``advance``
+    phase: int = 0
+    #: seconds spent blocked in waits so far (accumulated by ``advance``)
+    blocked: float = 0.0
+    #: first tag slot: two exchanges in flight concurrently (e.g. the
+    #: wind exchange and the transported scalars) need disjoint slots
+    fslot_base: int = 0
 
 
 @dataclasses.dataclass
@@ -108,12 +152,28 @@ class HaloUpdater:
         # field's trailing shape and dtype since one updater serves both 2D
         # and 3D fields.
         self._bufs: Dict[tuple, np.ndarray] = {}
+        self._buf_lock = threading.Lock()
+        #: send-side inverse of ``plans``: for each source rank and
+        #: phase, the (dest rank, plan index, plan) triples it must pack
+        #: and post — what a rank thread needs to run its own sends
+        self._send_index: List[List[List[Tuple[int, int, GatherPlan]]]] = [
+            [[], []] for _ in range(partitioner.total_ranks)
+        ]
+        for dst in range(partitioner.total_ranks):
+            for phase in (0, 1):
+                for pi, plan in enumerate(self.plans[dst][phase]):
+                    self._send_index[plan.src_rank][phase].append(
+                        (dst, pi, plan)
+                    )
 
     def _plan_buf(self, key: tuple, shape, dtype) -> np.ndarray:
         buf = self._bufs.get(key)
         if buf is None or buf.shape != shape or buf.dtype != dtype:
-            buf = np.empty(shape, dtype=dtype)
-            self._bufs[key] = buf
+            with self._buf_lock:
+                buf = self._bufs.get(key)
+                if buf is None or buf.shape != shape or buf.dtype != dtype:
+                    buf = np.empty(shape, dtype=dtype)
+                    self._bufs[key] = buf
         return buf
 
     @staticmethod
@@ -248,43 +308,210 @@ class HaloUpdater:
             sp.add("messages", messages)
             sp.add("bytes", nbytes)
 
-    def _rotate_vectors(self, vector_pair, phase: int) -> None:
+    def _rotate_rank(self, rank: int, u_fields, v_fields,
+                     phase: int) -> int:
+        """Rotate one rank's received vector halo cells into its local
+        tile basis; returns the number of cells rotated."""
         from repro.runtime.pool import get_pool
 
-        u_fields, v_fields = vector_pair
-        rotated = 0
         pool = get_pool()
+        rotated = 0
+        for pi, plan in enumerate(self.plans[rank][phase]):
+            if plan.rotations == 0:
+                continue
+            rot = _ROTATIONS[plan.rotations]
+            rotated += plan.cells
+            uf, vf = u_fields[rank], v_fields[rank]
+            shape = (plan.cells,) + uf.shape[2:]
+            ij = (plan.dst_i, plan.dst_j)
+            # gather both components into persistent buffers, form
+            # the rotated combinations in pooled scratch, scatter
+            ub = self._plan_buf(("rotu", phase, rank, pi), shape,
+                                uf.dtype)
+            vb = self._plan_buf(("rotv", phase, rank, pi), shape,
+                                vf.dtype)
+            self._gather(uf, plan.flat_dst, ub, ij)
+            self._gather(vf, plan.flat_dst, vb, ij)
+            t1 = pool.checkout(shape, uf.dtype)
+            t2 = pool.checkout(shape, uf.dtype)
+            np.multiply(rot[0, 0], ub, out=t1)
+            np.multiply(rot[0, 1], vb, out=t2)
+            np.add(t1, t2, out=t1)
+            uf[ij] = t1
+            np.multiply(rot[1, 0], ub, out=t1)
+            np.multiply(rot[1, 1], vb, out=t2)
+            np.add(t1, t2, out=t1)
+            vf[ij] = t1
+            pool.release(t2)
+            pool.release(t1)
+        return rotated
+
+    def _rotate_vectors(self, vector_pair, phase: int) -> None:
+        u_fields, v_fields = vector_pair
         with _TRACER.span("halo.rotate_vectors") as sp:
+            rotated = 0
             for rank in range(self.partitioner.total_ranks):
-                for pi, plan in enumerate(self.plans[rank][phase]):
-                    if plan.rotations == 0:
-                        continue
-                    rot = _ROTATIONS[plan.rotations]
-                    rotated += plan.cells
-                    uf, vf = u_fields[rank], v_fields[rank]
-                    shape = (plan.cells,) + uf.shape[2:]
-                    ij = (plan.dst_i, plan.dst_j)
-                    # gather both components into persistent buffers, form
-                    # the rotated combinations in pooled scratch, scatter
-                    ub = self._plan_buf(("rotu", phase, rank, pi), shape,
-                                        uf.dtype)
-                    vb = self._plan_buf(("rotv", phase, rank, pi), shape,
-                                        vf.dtype)
-                    self._gather(uf, plan.flat_dst, ub, ij)
-                    self._gather(vf, plan.flat_dst, vb, ij)
-                    t1 = pool.checkout(shape, uf.dtype)
-                    t2 = pool.checkout(shape, uf.dtype)
-                    np.multiply(rot[0, 0], ub, out=t1)
-                    np.multiply(rot[0, 1], vb, out=t2)
-                    np.add(t1, t2, out=t1)
-                    uf[ij] = t1
-                    np.multiply(rot[1, 0], ub, out=t1)
-                    np.multiply(rot[1, 1], vb, out=t2)
-                    np.add(t1, t2, out=t1)
-                    vf[ij] = t1
-                    pool.release(t2)
-                    pool.release(t1)
+                rotated += self._rotate_rank(rank, u_fields, v_fields, phase)
             sp.add("cells", rotated)
+
+    # ------------------------------------------------------------------
+    # split per-rank exchange (the SPMD path)
+    # ------------------------------------------------------------------
+    def _post_rank_sends(self, rank: int, slots, phase: int,
+                         fslot_base: int = 0) -> None:
+        """Pack and post every message ``rank`` owes its neighbors for
+        one phase, all field slots."""
+        comm = self.comm
+        for dst, pi, plan in self._send_index[rank][phase]:
+            for fslot, fields in enumerate(slots, start=fslot_base):
+                field = fields[rank]
+                shape = (plan.cells,) + field.shape[2:]
+                # "snd"-keyed, distinct from the receiver's "rcv" buffer:
+                # the sender's thread may repack for the next exchange
+                # while the receiver is still scattering this one, so the
+                # two sides must never share storage (Isend snapshots the
+                # payload, making the pack buffer free on return)
+                buf = self._plan_buf(
+                    ("snd", dst, phase, pi, fslot), shape, field.dtype
+                )
+                self._gather(
+                    field, plan.flat_src, buf, (plan.src_i, plan.src_j)
+                )
+                comm.Isend(
+                    buf, source=rank, dest=dst, tag=_tag(fslot, phase, pi)
+                )
+
+    def _post_rank_recvs(self, rank: int, slots, phase: int,
+                         fslot_base: int = 0) -> List[tuple]:
+        """Post ``rank``'s receives for one phase; returns
+        (slot index, plan, buffer, request) tuples for the wait/unpack."""
+        reqs = []
+        for pi, plan in enumerate(self.plans[rank][phase]):
+            for si, fields in enumerate(slots):
+                fslot = fslot_base + si
+                field = fields[rank]
+                shape = (plan.cells,) + field.shape[2:]
+                buf = self._plan_buf(
+                    ("rcv", rank, phase, pi, fslot), shape, field.dtype
+                )
+                req = self.comm.Irecv(
+                    buf, source=plan.src_rank, dest=rank,
+                    tag=_tag(fslot, phase, pi),
+                )
+                reqs.append((si, plan, buf, req))
+        return reqs
+
+    def _finish_rank_phase(self, rank: int, slots, reqs,
+                           phase: int) -> float:
+        """Complete one phase's receives and scatter the halo cells;
+        returns the seconds this rank spent blocked in waits.
+
+        Unlike the sequential path, a timeout does *not* drain the
+        communicator here — other rank threads are still exchanging.
+        The driver (the dyncore rollback loop) drains after joining
+        every rank.
+        """
+        blocked = 0.0
+        try:
+            for fslot, plan, buf, req in reqs:
+                t0 = time.perf_counter()
+                req.wait()
+                blocked += time.perf_counter() - t0
+                slots[fslot][rank][plan.dst_i, plan.dst_j] = buf
+        except HaloTimeoutError as exc:
+            exc.phase = phase
+            _record("halo_timeouts")
+            raise
+        return blocked
+
+    def _start(self, slots, rank: int, vector: bool,
+               fslot_base: int = 0) -> RankHaloExchange:
+        with _TRACER.span("halo.start"):
+            self._post_rank_sends(rank, slots, 0, fslot_base)
+            reqs = self._post_rank_recvs(rank, slots, 0, fslot_base)
+        return RankHaloExchange(
+            rank=rank, slots=slots, vector=vector, reqs=reqs,
+            t_start=time.perf_counter(), fslot_base=fslot_base,
+        )
+
+    def advance(self, ex: RankHaloExchange) -> None:
+        """Complete phase 0 and post phase 1 without blocking on it.
+
+        Optional pipelining step between ``start_*`` and ``finish_*``:
+        after ``advance`` the rank may post *another* exchange (or
+        compute) while phase 1's messages are in flight, so a subsequent
+        exchange's phase-0 latency elapses inside this one's phase-1
+        wait. The exchanged fields' edge halos are valid after
+        ``advance``; corners (and seam rotations) only after
+        ``finish_*``.
+        """
+        if ex.phase != 0:
+            raise ValueError("advance() called twice on one exchange")
+        rank, slots = ex.rank, ex.slots
+        with _TRACER.span("halo.advance"):
+            ex.blocked += self._finish_rank_phase(rank, slots, ex.reqs, 0)
+            if ex.vector:
+                self._rotate_rank(rank, slots[0], slots[1], 0)
+            self._post_rank_sends(rank, slots, 1, ex.fslot_base)
+            ex.reqs = self._post_rank_recvs(rank, slots, 1, ex.fslot_base)
+        ex.phase = 1
+
+    def _finish(self, ex: RankHaloExchange) -> None:
+        hidden = time.perf_counter() - ex.t_start
+        rank, slots = ex.rank, ex.slots
+        with _TRACER.span("halo.finish"):
+            if ex.phase == 0:
+                ex.blocked += self._finish_rank_phase(
+                    rank, slots, ex.reqs, 0
+                )
+                if ex.vector:
+                    self._rotate_rank(rank, slots[0], slots[1], 0)
+                self._post_rank_sends(rank, slots, 1, ex.fslot_base)
+                ex.reqs = self._post_rank_recvs(rank, slots, 1, ex.fslot_base)
+            blocked = ex.blocked + self._finish_rank_phase(
+                rank, slots, ex.reqs, 1
+            )
+            if ex.vector:
+                self._rotate_rank(rank, slots[0], slots[1], 1)
+        _record_overlap(hidden, blocked)
+
+    def start_scalar(self, fields: Sequence[np.ndarray],
+                     rank: int) -> RankHaloExchange:
+        """Post phase 0 of one rank's scalar halo exchange (SPMD: every
+        rank calls this on its own thread). Pair with
+        :meth:`finish_scalar`."""
+        return self._start((fields,), rank, vector=False)
+
+    def start_scalars(self, fields_list: Sequence[Sequence[np.ndarray]],
+                      rank: int, fslot_base: int = 0) -> RankHaloExchange:
+        """Like :meth:`start_scalar` for several fields at once — one
+        fused exchange with per-field tag slots. ``fslot_base`` offsets
+        the slots so this exchange can be in flight concurrently with
+        another one using lower slots (disjoint message keys)."""
+        return self._start(
+            tuple(fields_list), rank, vector=False, fslot_base=fslot_base
+        )
+
+    def start_vector(self, u_fields: Sequence[np.ndarray],
+                     v_fields: Sequence[np.ndarray],
+                     rank: int) -> RankHaloExchange:
+        """Post phase 0 of one rank's vector exchange (both components
+        in flight together). Pair with :meth:`finish_vector`."""
+        return self._start((u_fields, v_fields), rank, vector=True)
+
+    def finish_scalar(self, ex: RankHaloExchange) -> None:
+        """Complete a scalar exchange: wait out phase 0, run phase 1."""
+        if ex.vector:
+            raise ValueError("vector exchange passed to finish_scalar")
+        self._finish(ex)
+
+    finish_scalars = finish_scalar
+
+    def finish_vector(self, ex: RankHaloExchange) -> None:
+        """Complete a vector exchange: phases 0/1 plus seam rotations."""
+        if not ex.vector:
+            raise ValueError("scalar exchange passed to finish_vector")
+        self._finish(ex)
 
     # ------------------------------------------------------------------
     def update_scalar(self, fields: Sequence[np.ndarray]) -> None:

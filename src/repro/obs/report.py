@@ -142,6 +142,23 @@ def _runtime_lines() -> List[str]:
             f"{cache['entries']} programs cached, "
             f"{cache['bytes_saved'] / 1e6:.1f} MB working-set reuse"
         )
+    rk = rt.get("ranks", {})
+    if rk.get("sections"):
+        lines.append(
+            f"rank executor: {rk['workers']} workers, "
+            f"{rk['sections']} parallel sections / "
+            f"{rk['tasks']} rank tasks, "
+            f"{rk['section_seconds']:.3f}s inside sections"
+        )
+    if rk.get("exchanges"):
+        eff = rk.get("overlap_efficiency")
+        eff_cell = f"{100 * eff:.0f}%" if eff is not None else "n/a"
+        lines.append(
+            f"halo overlap: {eff_cell} efficiency "
+            f"({rk['hidden_seconds']:.3f}s hidden, "
+            f"{rk['exposed_seconds']:.3f}s exposed, "
+            f"{rk['exchanges']} split exchanges)"
+        )
     return lines
 
 

@@ -21,7 +21,9 @@ A process-wide registry maps names to tracers; the default tracer
 
 from __future__ import annotations
 
+import contextlib
 import os
+import threading
 import time
 from typing import Dict, Optional
 
@@ -64,6 +66,11 @@ class _NullSpan:
 
 _NULL_SPAN = _NullSpan()
 
+#: one lock for all span-tree mutation. Tracing is off by default, so
+#: the lock is touched only on explicitly traced runs; per-thread stack
+#: manipulation stays lock-free (stacks are thread-local).
+_SPAN_LOCK = threading.Lock()
+
 
 class Span:
     """One aggregated node of the span tree.
@@ -84,18 +91,23 @@ class Span:
     # -- metric attachment ---------------------------------------------
     def set(self, key: str, value) -> None:
         """Attach (overwrite) an attribute on this span."""
-        self.attrs[key] = value
+        with _SPAN_LOCK:
+            self.attrs[key] = value
 
     def add(self, key: str, value) -> None:
         """Accumulate a numeric attribute across entries."""
-        self.attrs[key] = self.attrs.get(key, 0) + value
+        with _SPAN_LOCK:
+            self.attrs[key] = self.attrs.get(key, 0) + value
 
     # -- tree access ----------------------------------------------------
     def child(self, name: str) -> "Span":
         node = self.children.get(name)
         if node is None:
-            node = Span(name)
-            self.children[name] = node
+            with _SPAN_LOCK:
+                node = self.children.get(name)
+                if node is None:
+                    node = Span(name)
+                    self.children[name] = node
         return node
 
     @property
@@ -124,14 +136,16 @@ class _ActiveSpan:
 
     def __enter__(self) -> Span:
         node = self._node
-        node.count += 1
+        with _SPAN_LOCK:
+            node.count += 1
         self._tracer._stack.append(node)
         self._t0 = time.perf_counter()
         return node
 
     def __exit__(self, *exc) -> bool:
         elapsed = time.perf_counter() - self._t0
-        self._node.total_seconds += elapsed
+        with _SPAN_LOCK:
+            self._node.total_seconds += elapsed
         self._tracer._stack.pop()
         return False
 
@@ -174,7 +188,40 @@ class Tracer:
         self.name = name
         self.enabled = _env_enabled() if enabled is None else enabled
         self.root = Span("<root>")
-        self._stack = [self.root]
+        self._local = threading.local()
+
+    #: the open-span stack is per-thread: each rank thread nests its own
+    #: spans without corrupting another's. A thread that never entered a
+    #: ``thread_context`` roots at the tracer's root.
+    @property
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = [self.root]
+            self._local.stack = stack
+        return stack
+
+    @_stack.setter
+    def _stack(self, value: list) -> None:
+        self._local.stack = value
+
+    @contextlib.contextmanager
+    def thread_context(self, parent: Span):
+        """Root this thread's span stack at ``parent``.
+
+        Executor rank tasks enter this with the span that was current on
+        the submitting thread, so per-rank spans nest under the section
+        that spawned them instead of dangling off the root.
+        """
+        saved = getattr(self._local, "stack", None)
+        self._local.stack = [parent]
+        try:
+            yield
+        finally:
+            if saved is None:
+                self._local.stack = [self.root]
+            else:
+                self._local.stack = saved
 
     # -- switching ------------------------------------------------------
     def enable(self) -> None:
@@ -186,7 +233,9 @@ class Tracer:
     def reset(self) -> None:
         """Drop all recorded spans (the enabled flag is untouched)."""
         self.root = Span("<root>")
-        self._stack = [self.root]
+        # fresh thread-local storage: every thread re-roots at the new
+        # root the next time it opens a span
+        self._local = threading.local()
 
     # -- recording ------------------------------------------------------
     def span(self, name: str):

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import dataclasses
 import os
+import threading
 import warnings
 from typing import Dict, List, Optional, Tuple
 
@@ -137,6 +138,7 @@ _COUNTER_NAMES = (
 )
 
 _COUNTERS: Dict[str, int] = {name: 0 for name in _COUNTER_NAMES}
+_COUNTER_LOCK = threading.Lock()
 
 #: most recent backend fallbacks as (stencil, backend, error repr)
 _FALLBACK_LOG: List[Tuple[str, str, str]] = []
@@ -144,8 +146,10 @@ _FALLBACK_LOG_LIMIT = 32
 
 
 def record(name: str, n: int = 1) -> None:
-    """Increment one recovery counter."""
-    _COUNTERS[name] = _COUNTERS.get(name, 0) + n
+    """Increment one recovery counter (thread-safe: rank threads report
+    redeliveries and timeouts concurrently)."""
+    with _COUNTER_LOCK:
+        _COUNTERS[name] = _COUNTERS.get(name, 0) + n
 
 
 def record_fallback(stencil: str, backend: str, exc: BaseException) -> None:

@@ -69,7 +69,11 @@ KNOWN_SITES = (
     "stencil.nanflip",
 )
 
-#: receive polls withheld by one ``halo.delay`` fault
+#: how long one ``halo.delay`` fault withholds delivery, in units of the
+#: communicator's ``poll_interval``. The delay is a delivery-time
+#: condition stamped on the message itself (not a poll-count countdown),
+#: so seeded replays are identical however often a waiter wakes — and
+#: identical between sequential and threaded execution.
 DEFAULT_DELAY_POLLS = 2
 
 

@@ -12,8 +12,11 @@ two allocation sources the generated NumPy programs had:
 - :mod:`repro.runtime.compile_cache` — a content-hash cache of expanded
   SDFGs → :class:`~repro.sdfg.codegen.CompiledSDFG`, so autotuning and
   transfer tuning stop recompiling identical candidate configurations.
+- :mod:`repro.runtime.ranks` — the SPMD rank executor (PR 5): one thread
+  per simulated rank with a compute-slot cap, plus the halo overlap
+  accounting behind the obs footer's efficiency line.
 
-:func:`runtime_summary` aggregates both counter sets for the obs report.
+:func:`runtime_summary` aggregates the counter sets for the obs report.
 """
 
 from __future__ import annotations
@@ -22,14 +25,20 @@ from typing import Dict
 
 from repro.runtime.pool import BufferPool, get_pool
 from repro.runtime import compile_cache
+from repro.runtime import ranks
+from repro.runtime.ranks import RankExecutor
 
-__all__ = ["BufferPool", "get_pool", "compile_cache", "runtime_summary"]
+__all__ = [
+    "BufferPool", "get_pool", "compile_cache", "ranks", "RankExecutor",
+    "runtime_summary",
+]
 
 
-def runtime_summary() -> Dict[str, Dict[str, int]]:
-    """Pool and compile-cache counters for reports (zero-filled dicts when
-    the subsystems have not been exercised)."""
+def runtime_summary() -> Dict[str, Dict[str, object]]:
+    """Pool, compile-cache and rank-executor counters for reports
+    (zero-filled dicts when the subsystems have not been exercised)."""
     return {
         "pool": get_pool().stats(),
         "compile_cache": compile_cache.stats(),
+        "ranks": ranks.summary(),
     }

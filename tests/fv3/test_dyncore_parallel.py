@@ -1,0 +1,119 @@
+"""SPMD dyncore stepping: the thread-per-rank executor with overlapped
+halo exchange must stay bit-identical to the sequential driver, under
+any worker cap, with overlap disabled, and under chaos-driven rollback
+— and its overlap metrics must surface in the obs report."""
+
+import numpy as np
+import pytest
+
+from repro import resilience
+from repro.fv3.config import DynamicalCoreConfig
+from repro.fv3.dyncore import DynamicalCore
+from repro.obs.report import report
+from repro.resilience import GuardConfig, ResilienceConfig, chaos
+from repro.resilience.chaos import ChaosPlan
+from repro.runtime import ranks
+
+CFG = DynamicalCoreConfig(
+    npx=12, npz=3, layout=1, dt_atmos=120.0, k_split=1, n_split=2,
+    n_tracers=1,
+)
+
+FIELDS = ("u", "v", "w", "pt", "delp", "delz")
+
+
+def _run(workers, steps=2, res=None):
+    ex = ranks.RankExecutor(workers)
+    try:
+        core = DynamicalCore(CFG, resilience=res, executor=ex)
+        for _ in range(steps):
+            core.step_dynamics()
+    finally:
+        ex.shutdown()
+    return core
+
+
+def _assert_bit_identical(a, b):
+    for r, (sa, sb) in enumerate(zip(a.states, b.states)):
+        for f in FIELDS:
+            np.testing.assert_array_equal(
+                getattr(sa, f), getattr(sb, f), err_msg=f"rank {r} {f}"
+            )
+        for t, (ta, tb) in enumerate(zip(sa.tracers, sb.tracers)):
+            np.testing.assert_array_equal(
+                ta, tb, err_msg=f"rank {r} tracer {t}"
+            )
+
+
+@pytest.fixture(scope="module")
+def sequential_run():
+    return _run(workers=1)
+
+
+def test_threaded_step_bit_identical(sequential_run):
+    threaded = _run(workers=6)
+    _assert_bit_identical(threaded, sequential_run)
+    assert threaded.halo.comm.pending() == []
+
+
+def test_small_worker_cap_bit_identical(sequential_run):
+    """Two compute slots for six ranks: blocked halo waits hand their
+    slot back, so the run completes and matches exactly."""
+    capped = _run(workers=2)
+    _assert_bit_identical(capped, sequential_run)
+
+
+def test_overlap_disabled_bit_identical(sequential_run, monkeypatch):
+    """REPRO_OVERLAP=0 serializes finish_vector before riemann; the
+    answer must not depend on the overlap window."""
+    monkeypatch.setenv("REPRO_OVERLAP", "0")
+    threaded = _run(workers=6)
+    _assert_bit_identical(threaded, sequential_run)
+
+
+def test_threaded_rollback_recovers_bit_identical():
+    """A dropped halo message under threads trips the timeout, the
+    driver drains and rolls back, and the retried step finishes
+    bit-identical to a fault-free threaded run."""
+    clean = _run(workers=6)
+    plan = ChaosPlan.from_spec("seed=3;halo.drop@40")
+    previous = chaos.set_plan(plan)
+    try:
+        faulty = _run(
+            workers=6,
+            res=ResilienceConfig(
+                guard=GuardConfig(policy="rollback"), max_retries=4
+            ),
+        )
+        counters = resilience.summary()["counters"]
+        assert plan.counts() == {"halo.drop": 1}
+        assert counters["halo_timeouts"] >= 1
+        assert counters["rollbacks"] >= 1
+    finally:
+        chaos.set_plan(previous)
+        resilience.reset()
+    _assert_bit_identical(faulty, clean)
+    assert faulty.halo.comm.pending() == []
+
+
+@pytest.mark.traced
+def test_parallel_metrics_surface_in_report():
+    ranks.reset_metrics()
+    _run(workers=6, steps=1)
+    summary = ranks.summary()
+    assert summary["workers"] >= 6
+    assert summary["sections"] > 0
+    assert summary["tasks"] >= 6 * summary["sections"]
+    assert summary["exchanges"] > 0
+    assert summary["hidden_seconds"] >= 0.0
+    eff = summary["overlap_efficiency"]
+    assert eff is None or 0.0 <= eff <= 1.0
+    text = report()
+    assert "rank executor:" in text
+    assert "halo overlap:" in text
+
+
+def test_sequential_executor_records_no_sections():
+    ranks.reset_metrics()
+    _run(workers=1, steps=1)
+    assert ranks.summary()["sections"] == 0

@@ -11,6 +11,7 @@ from repro.fv3.corners import fill_corners, rank_corners
 from repro.fv3.grid import CubedSphereGrid
 from repro.fv3.partitioner import CubedSpherePartitioner
 from repro.fv3.quantity import Quantity
+from repro.resilience.errors import HaloTimeoutError
 
 
 # ---------------------------------------------------------------------------
@@ -149,9 +150,13 @@ def test_localcomm_send_test_reports_delivery():
     buf = np.zeros(3)
     comm.Irecv(buf, source=0, dest=1, tag=2).wait()
     assert req.test()
-    # wait() always completes a send (the transport copied eagerly)
+    # wait() completes a send only once the receiver drained the slot;
+    # with nobody receiving it times out (matching test() semantics)
     req2 = comm.Isend(np.arange(3.0), source=0, dest=1, tag=4)
-    req2.wait()
+    with pytest.raises(HaloTimeoutError):
+        req2.wait(timeout=0.05)
+    comm.Irecv(buf, source=0, dest=1, tag=4).wait()
+    req2.wait()  # drained: completes immediately now
     assert req2.test()
     comm.drain()
 
