@@ -47,8 +47,10 @@ FIELDS = ("u", "v", "w", "pt", "delp", "delz")
 
 
 def _make_core(workers):
+    """One member core via the shared facade — the single source of
+    truth for rank wiring (same path the examples use)."""
     from repro.fv3.config import DynamicalCoreConfig
-    from repro.fv3.dyncore import DynamicalCore
+    from repro.run import build_core
     from repro.runtime import ranks
 
     cfg = DynamicalCoreConfig(
@@ -56,11 +58,13 @@ def _make_core(workers):
         n_tracers=1,
     )
     ex = ranks.RankExecutor(workers)
-    core = DynamicalCore(cfg, executor=ex)
-    core.halo.comm.latency = LATENCY
-    # widen the receive absence budget: rank threads legitimately sit
-    # out several simulated-latency windows while neighbors drain
-    core.halo.comm.max_polls = 40
+    # max_polls widens the receive absence budget: rank threads
+    # legitimately sit out several simulated-latency windows while
+    # neighbors drain
+    core = build_core(
+        "baroclinic_wave", cfg, executor=ex, comm_latency=LATENCY,
+        max_polls=40,
+    )
     return core, ex
 
 

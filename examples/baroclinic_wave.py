@@ -1,9 +1,12 @@
 """The paper's Sec. IX test case: a perturbed zonal flow on the cubed
 sphere, integrated by the full dynamical core across 6 simulated ranks.
 
-Prints per-step diagnostics (max wind, max vertical velocity, global mass
-drift) and a crude ASCII rendering of the mid-level temperature anomaly of
-tile 0, so the evolving wave can be eyeballed — the paper's "fast visual
+The whole experiment is now one facade call: the scenario registry
+supplies the reference-checked initial conditions and configuration,
+``repro.run.run`` wires the ranks and steps the model, and this script
+only renders the result — per-step diagnostics (max wind, max vertical
+velocity, global mass drift) and a crude ASCII rendering of the
+mid-level temperature anomaly of tile 0, the paper's "fast visual
 verification of the results".
 
 With tracing on (``REPRO_TRACE=1`` or ``--trace``) the run ends with the
@@ -19,8 +22,8 @@ import sys
 import numpy as np
 
 from repro import obs
-from repro.fv3.config import DynamicalCoreConfig
-from repro.fv3.dyncore import DynamicalCore
+from repro.run import run
+from repro.scenarios import get_scenario
 
 
 def ascii_field(field2d: np.ndarray, width: int = 48) -> str:
@@ -41,40 +44,35 @@ def ascii_field(field2d: np.ndarray, width: int = 48) -> str:
 
 
 def main(steps: int = 4) -> None:
-    config = DynamicalCoreConfig(
-        npx=24,
-        npz=10,
-        layout=1,
-        dt_atmos=180.0,
-        k_split=1,
-        n_split=3,
-        n_tracers=1,
-    )
+    scenario = get_scenario("baroclinic_wave")
+    config = scenario.default_config()
     print(f"grid: c{config.npx}, {config.npz} levels, "
           f"{config.total_ranks} ranks, dt={config.dt_atmos}s "
           f"(~{config.grid_spacing_km():.0f} km spacing)")
-    core = DynamicalCore(config)
-    mass0 = core.global_integral("delp")
 
-    for step in range(1, steps + 1):
-        core.step_dynamics()
-        s = core.state_summary()
-        drift = (core.global_integral("delp") - mass0) / mass0
+    result = run(scenario, config, steps=steps)
+    member = result.members[0]
+
+    for entry in member.history:
         print(
-            f"step {step:>2}  t={s['time']:7.0f}s  "
-            f"max|V|={s['max_wind']:6.2f} m/s  "
-            f"max|w|={s['max_w']:7.4f} m/s  mass drift={drift:+.2e}"
+            f"step {entry['step']:>2}  t={entry['time']:7.0f}s  "
+            f"max|V|={entry['max_wind']:6.2f} m/s  "
+            f"max|w|={entry['max_w']:7.4f} m/s  "
+            f"mass drift={entry['mass_drift']:+.2e}"
         )
+    checks = "passed" if member.ok else "; ".join(member.check_violations)
+    print(f"reference checks: {checks}")
 
-    h = core.h
+    engine = result.engine
+    h = engine.h
     k_mid = config.npz // 2
-    pt = core.states[0].pt[h:-h, h:-h, k_mid]
+    pt = member.states[0].pt[h:-h, h:-h, k_mid]
     anomaly = pt - pt.mean()
     print(f"\ntile 0 temperature anomaly at level {k_mid} "
           f"(range {anomaly.min():+.2f}..{anomaly.max():+.2f} K):")
     print(ascii_field(anomaly))
 
-    comm = core.halo.comm
+    comm = engine.halo.comm
     print(f"\ncommunication: {len(comm.log)} messages routed, "
           f"{sum(m.nbytes for m in comm.log) / 1e6:.1f} MB total")
 

@@ -99,6 +99,22 @@ def main() -> None:
     print("\nmodel-augmented kernel report (P100 model):")
     print(format_bound_report(bound_report(sdfg, P100)))
 
+    # ---- 7. from one stencil to the whole model -------------------------
+    # the same stack drives the full dynamical core through the unified
+    # experiment facade: scenario registry -> run() -> structured result
+    from repro.fv3.config import DynamicalCoreConfig
+    from repro.run import run
+    from repro.scenarios import available_scenarios
+
+    print("\nregistered scenarios:", ", ".join(available_scenarios()))
+    result = run(
+        "baroclinic_wave",
+        DynamicalCoreConfig(npx=12, npz=4, layout=1, dt_atmos=120.0,
+                            k_split=1, n_split=2, n_tracers=1),
+        steps=1,
+    )
+    print(result.describe())
+
 
 if __name__ == "__main__":
     main()

@@ -1,11 +1,16 @@
 """Solid-body-rotation tracer transport on the cubed sphere.
 
-Williamson test case 1: a Gaussian blob advected by a rigid-rotation wind
-field. Exercises the finite-volume transport operator (Table II's FVT),
-the halo exchange with tile-seam rotations, and the corner fills —
-and checks the transport invariants (mass conservation, monotonicity).
+Williamson test case 1: a Gaussian blob advected by a rigid-rotation
+wind field, launched straight from the scenario registry through the
+``repro.run`` facade. Exercises the finite-volume transport operator
+(Table II's FVT), the halo exchange with tile-seam rotations, and the
+corner fills; the scenario's reference checks cover mass conservation
+and monotonicity automatically.
 
-Run:  python examples/tracer_transport.py [steps]
+Pass ``--rotated`` to run the 45°-tilted variant instead — the same
+blob then crosses tile seams and corners.
+
+Run:  python examples/tracer_transport.py [steps] [--rotated]
 """
 
 import sys
@@ -13,80 +18,54 @@ import sys
 import numpy as np
 
 from repro.fv3 import constants
-from repro.fv3.config import DynamicalCoreConfig
-from repro.fv3.dyncore import DynamicalCore
-from repro.fv3.initial import (
-    RankFields,
-    gaussian_tracer,
-    reference_coordinate,
-    solid_body_rotation_winds,
-)
+from repro.run import run
+
+U0 = 40.0  # rigid-rotation speed of the registered scenarios [m/s]
 
 
-def make_init(u0: float):
-    def init(grid, config):
-        nk = config.npz
-        u, v = solid_body_rotation_winds(grid, nk, u0=u0)
-        bk, ptop = reference_coordinate(config)
-        pe = ptop + bk[None, None, :] * (constants.P_REF - ptop)
-        delp = np.broadcast_to(
-            np.diff(pe, axis=-1), grid.shape + (nk,)
-        ).copy()
-        p_mid = 0.5 * (pe[..., :-1] + pe[..., 1:])
-        pt = np.full(grid.shape + (nk,), 280.0)
-        delz = -constants.RDGAS * pt * delp / (constants.GRAV * p_mid)
-        blob = gaussian_tracer(grid, nk, lon0=0.0, lat0=0.0, width=0.4)
-        return RankFields(
-            u=u, v=v, w=np.zeros_like(pt), pt=pt, delp=delp, delz=delz,
-            tracers=[blob],
-        )
-
-    return init
-
-
-def blob_position(core) -> tuple:
-    """(lon, lat) of the tracer maximum across all ranks."""
-    h = core.h
+def blob_position(states, grids, h) -> tuple:
+    """(peak, lon, lat) of the tracer maximum across all ranks."""
     best = (-1.0, 0.0, 0.0)
-    for r, state in enumerate(core.states):
+    for r, state in enumerate(states):
         tr = state.tracers[0][h:-h, h:-h, 0]
         i, j = np.unravel_index(np.argmax(tr), tr.shape)
         value = tr[i, j]
         if value > best[0]:
-            grid = core.grids[r]
+            grid = grids[r]
             best = (value, grid.lon[h + i, h + j], grid.lat[h + i, h + j])
     return best
 
 
-def main(steps: int = 8) -> None:
-    config = DynamicalCoreConfig(
-        npx=16, npz=3, layout=1, dt_atmos=1200.0, k_split=1, n_split=3,
-        n_tracers=1, d2_damp=0.0, smag_coeff=0.0,
-    )
-    core = DynamicalCore(config, init=make_init(u0=40.0))
-    mass0 = core.tracer_integral(0)
-    peak0, lon0, lat0 = blob_position(core)
-    print(f"initial blob: peak={peak0:.3f} at lon={np.degrees(lon0):7.2f}°")
+def main(steps: int = 8, scenario: str = "solid_body_rotation") -> None:
+    result = run(scenario, steps=steps)
+    member = result.members[0]
+    engine = result.engine
 
-    for step in range(1, steps + 1):
-        core.step_dynamics()
-        peak, lon, lat = blob_position(core)
-        drift = (core.tracer_integral(0) - mass0) / mass0
+    for entry in member.history:
         print(
-            f"step {step:>2}  blob at lon={np.degrees(lon):7.2f}° "
-            f"lat={np.degrees(lat):6.2f}°  peak={peak:.3f}  "
-            f"tracer mass drift={drift:+.2e}"
+            f"step {entry['step']:>2}  t={entry['time']:7.0f}s  "
+            f"tracer mass drift={entry['tracer_drift']:+.2e}"
         )
-
-    expected_deg = np.degrees(
-        40.0 * steps * config.dt_atmos / constants.RADIUS
+    peak, lon, lat = blob_position(member.states, engine.grids, engine.h)
+    print(
+        f"\nfinal blob: peak={peak:.3f} at lon={np.degrees(lon):7.2f}° "
+        f"lat={np.degrees(lat):6.2f}°"
     )
-    print(f"\nexpected eastward drift ≈ {expected_deg:.1f}° "
-          f"(u0·t/R at the equator)")
-    mins = min(float(s.tracers[0][3:-3, 3:-3].min()) for s in core.states)
+    expected_deg = np.degrees(
+        U0 * steps * result.config.dt_atmos / constants.RADIUS
+    )
+    print(f"expected drift ≈ {expected_deg:.1f}° (u0·t/R at the equator)")
+    mins = min(float(s.tracers[0][3:-3, 3:-3].min()) for s in member.states)
     print(f"minimum tracer value: {mins:+.2e} (monotone scheme: ≈ no "
           f"undershoot)")
+    checks = "passed" if member.ok else "; ".join(member.check_violations)
+    print(f"reference checks: {checks}")
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 8)
+    args = [a for a in sys.argv[1:] if a != "--rotated"]
+    name = (
+        "rotated_transport" if len(args) != len(sys.argv) - 1
+        else "solid_body_rotation"
+    )
+    main(int(args[0]) if args else 8, name)

@@ -10,6 +10,12 @@ Subpackages:
   performance bounds, auto-tuning and transfer tuning, the Fig. 7 pipeline.
 - :mod:`repro.fv3` — the ported FV3 dynamical core and its substrate
   (cubed-sphere grid, halo exchange, simulated communicator).
+- :mod:`repro.scenarios` — named, reference-checked experiment
+  definitions (initial conditions, perturbation recipes, physics
+  checks) in a process-wide registry.
+- :mod:`repro.run` — the unified experiment facade: single runs and
+  batched ensembles through ``run(scenario, config, steps,
+  members=N, executor=...)``.
 """
 
 __version__ = "1.0.0"

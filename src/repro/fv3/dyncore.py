@@ -27,11 +27,7 @@ from repro.fv3.config import DynamicalCoreConfig
 from repro.fv3.corners import rank_corners
 from repro.fv3.grid import CubedSphereGrid
 from repro.fv3.halo import HaloUpdater
-from repro.fv3.initial import (
-    RankFields,
-    baroclinic_state,
-    reference_coordinate,
-)
+from repro.fv3.initial import RankFields, reference_coordinate
 from repro.fv3.partitioner import CubedSpherePartitioner
 from repro.fv3.stencils.fvtp2d import FiniteVolumeTransport
 from repro.fv3.stencils.remapping import LagrangianToEulerian
@@ -66,10 +62,18 @@ class DynamicalCore:
         self,
         config: DynamicalCoreConfig,
         n_halo: int = constants.N_HALO,
-        init=baroclinic_state,
+        init=None,
         resilience: Optional[ResilienceConfig] = None,
         executor: Optional[_ranks.RankExecutor] = None,
+        grids: Optional[List[CubedSphereGrid]] = None,
     ):
+        if init is None:
+            # the default workload is the registered baroclinic-wave
+            # scenario (imported lazily: scenarios ← fv3 is the stable
+            # direction, dyncore → scenarios only for this default)
+            from repro.scenarios import get_scenario
+
+            init = get_scenario("baroclinic_wave").initializer()
         self.config = config
         self.h = n_halo
         self.partitioner = CubedSpherePartitioner(config.npx, config.layout)
@@ -78,10 +82,18 @@ class DynamicalCore:
         # default reads REPRO_RANKS (1 → the original sequential path)
         self.executor = executor if executor is not None \
             else _ranks.get_executor()
-        self.grids = [
-            CubedSphereGrid.build(self.partitioner, rank, n_halo=n_halo)
-            for rank in range(self.partitioner.total_ranks)
-        ]
+        if grids is None:
+            grids = [
+                CubedSphereGrid.build(self.partitioner, rank, n_halo=n_halo)
+                for rank in range(self.partitioner.total_ranks)
+            ]
+        elif len(grids) != self.partitioner.total_ranks:
+            raise ValueError(
+                f"got {len(grids)} prebuilt grids for "
+                f"{self.partitioner.total_ranks} ranks"
+            )
+        # grids are immutable geometry — ensemble members share them
+        self.grids = grids
         self.states: List[RankFields] = [
             init(grid, config) for grid in self.grids
         ]

@@ -1,32 +1,22 @@
-"""Initial conditions.
+"""Initial conditions: the per-rank state container and the vertical
+reference coordinate.
 
-The paper's test case (Sec. IX) sets "the initial state of the model
-corresponding to a uniform zonal flow with a perturbation which evolves
-into a baroclinic instability" (Ullrich et al. 2014). This module builds a
-simplified variant of that state — a balanced-ish mid-latitude zonal jet
-with a localized perturbation — plus the solid-body-rotation tracer test
-used for transport validation.
+State *construction* moved to the scenario registry
+(:mod:`repro.scenarios`): every initial-condition generator is now a
+named, reference-checked :class:`~repro.scenarios.Scenario`, and runs
+are launched through the :mod:`repro.run` facade. The former builder
+functions (``baroclinic_state``, ``solid_body_rotation_winds``,
+``gaussian_tracer``) remain importable here as thin deprecation shims
+that delegate to :mod:`repro.scenarios.library`.
 """
 
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List
+import warnings
+from typing import List
 
 import numpy as np
-
-from repro.fv3 import constants
-from repro.fv3.config import DynamicalCoreConfig
-from repro.fv3.grid import CubedSphereGrid
-
-#: jet parameters (Ullrich et al. scaled down for the coarse demo grids)
-U_JET = 35.0  # m/s
-T_SURFACE = 300.0  # K
-LAPSE_FRACTION = 0.18  # fractional temperature drop top-to-bottom
-PERTURBATION_U = 1.0  # m/s
-PERT_LON = np.pi / 9.0
-PERT_LAT = 2.0 * np.pi / 9.0
-PERT_WIDTH = 0.2  # rad
 
 
 @dataclasses.dataclass
@@ -42,90 +32,52 @@ class RankFields:
     tracers: List[np.ndarray]
 
 
-def reference_coordinate(config: DynamicalCoreConfig, ptop: float = 100.0):
+def reference_coordinate(config, ptop: float = 100.0):
     """Hybrid coefficients: pure sigma levels (bk from 0 to 1)."""
     nk = config.npz
     bk = np.linspace(0.0, 1.0, nk + 1)
     return bk, ptop
 
 
-def baroclinic_state(
-    grid: CubedSphereGrid, config: DynamicalCoreConfig, ptop: float = 100.0
-) -> RankFields:
-    """Build the perturbed zonal-jet initial state on one rank."""
-    nk = config.npz
-    shape2 = grid.shape
-    shape3 = shape2 + (nk,)
-    lon, lat = grid.lon, grid.lat
+# ---------------------------------------------------------------------------
+# deprecation shims (the PR-1 ``set_default_backend`` pattern): the real
+# builders live in repro.scenarios.library, looked up lazily to avoid an
+# import cycle
+# ---------------------------------------------------------------------------
 
-    bk, _ = reference_coordinate(config, ptop)
-    ps = constants.P_REF
-    pe = ptop + bk[None, None, :] * (ps - ptop)  # interfaces, same everywhere
-    delp = np.broadcast_to(np.diff(pe, axis=-1), shape3).copy()
-    p_mid = 0.5 * (pe[..., :-1] + pe[..., 1:])
-    sigma_mid = (p_mid - ptop) / (ps - ptop)
 
-    # temperature: warm surface, cooler aloft, meridional gradient
-    t_profile = T_SURFACE * (1.0 - LAPSE_FRACTION * (1.0 - sigma_mid))
-    pt = t_profile * (1.0 - 0.1 * np.sin(lat[..., None]) ** 2)
-
-    # zonal jet peaked at mid-latitudes and at upper levels
-    u_east = (
-        U_JET
-        * np.sin(2.0 * np.abs(lat[..., None])) ** 2
-        * np.cos(0.5 * np.pi * sigma_mid)
-    )
-    # localized wind perturbation (the instability trigger)
-    r2 = (lon[..., None] - PERT_LON) ** 2 + (lat[..., None] - PERT_LAT) ** 2
-    u_east = u_east + PERTURBATION_U * np.exp(-r2 / PERT_WIDTH**2)
-    v_north = np.zeros(shape3)
-
-    u = np.zeros(shape3)
-    v = np.zeros(shape3)
-    for k in range(nk):
-        u[..., k], v[..., k] = grid.wind_to_local(
-            u_east[..., k], v_north[..., k]
-        )
-
-    # hydrostatic layer heights (δz < 0 by FV3 convention)
-    delz = -constants.RDGAS * pt * delp / (constants.GRAV * p_mid)
-    w = np.zeros(shape3)
-
-    tracers = []
-    for n in range(config.n_tracers):
-        blob_lon = PERT_LON + n * 0.5
-        r2t = (lon[..., None] - blob_lon) ** 2 + (lat[..., None]) ** 2
-        tracers.append(np.exp(-r2t / 0.5**2) * np.ones(shape3))
-    return RankFields(
-        u=u, v=v, w=w, pt=pt, delp=delp, delz=delz, tracers=tracers
+def _deprecated(old: str, new: str):
+    warnings.warn(
+        f"repro.fv3.initial.{old}() is deprecated; use the scenario "
+        f"registry instead — repro.scenarios.{new} (and launch runs "
+        f"through repro.run.run(scenario, ...))",
+        DeprecationWarning,
+        stacklevel=3,
     )
 
 
-def solid_body_rotation_winds(
-    grid: CubedSphereGrid, nk: int, u0: float = 40.0, angle: float = 0.0
-):
-    """Winds of solid-body rotation (Williamson test 1), for transport
-    tests: u_east = u0 (cos φ cos α + sin φ cos λ sin α)."""
-    lon, lat = grid.lon, grid.lat
-    u_east = u0 * (
-        np.cos(lat) * np.cos(angle)
-        + np.sin(lat) * np.cos(lon) * np.sin(angle)
-    )
-    v_north = -u0 * np.sin(lon) * np.sin(angle)
-    u = np.zeros(grid.shape + (nk,))
-    v = np.zeros(grid.shape + (nk,))
-    for k in range(nk):
-        u[..., k], v[..., k] = grid.wind_to_local(u_east, v_north)
-    return u, v
+def baroclinic_state(grid, config, ptop: float = 100.0) -> RankFields:
+    """Deprecated: use ``get_scenario("baroclinic_wave")`` instead."""
+    from repro.scenarios import library
+
+    _deprecated("baroclinic_state", 'get_scenario("baroclinic_wave")')
+    return library.baroclinic_state(grid, config, ptop)
 
 
-def gaussian_tracer(grid: CubedSphereGrid, nk: int, lon0=0.0, lat0=0.0,
+def solid_body_rotation_winds(grid, nk: int, u0: float = 40.0,
+                              angle: float = 0.0):
+    """Deprecated: use ``repro.scenarios.solid_body_rotation_winds``."""
+    from repro.scenarios import library
+
+    _deprecated("solid_body_rotation_winds", "solid_body_rotation_winds")
+    return library.solid_body_rotation_winds(grid, nk, u0=u0, angle=angle)
+
+
+def gaussian_tracer(grid, nk: int, lon0=0.0, lat0=0.0,
                     width=0.35) -> np.ndarray:
-    """A smooth blob for advection tests (great-circle distance based)."""
-    lon, lat = grid.lon, grid.lat
-    cosd = np.sin(lat0) * np.sin(lat) + np.cos(lat0) * np.cos(lat) * np.cos(
-        lon - lon0
-    )
-    dist = np.arccos(np.clip(cosd, -1.0, 1.0))
-    blob = np.exp(-((dist / width) ** 2))
-    return np.repeat(blob[..., None], nk, axis=-1)
+    """Deprecated: use ``repro.scenarios.gaussian_tracer``."""
+    from repro.scenarios import library
+
+    _deprecated("gaussian_tracer", "gaussian_tracer")
+    return library.gaussian_tracer(grid, nk, lon0=lon0, lat0=lat0,
+                                   width=width)

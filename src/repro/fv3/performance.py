@@ -17,7 +17,7 @@ from repro.fv3 import constants
 from repro.fv3.config import DynamicalCoreConfig
 from repro.fv3.corners import rank_corners
 from repro.fv3.grid import CubedSphereGrid
-from repro.fv3.initial import baroclinic_state, reference_coordinate
+from repro.fv3.initial import reference_coordinate
 from repro.fv3.partitioner import CubedSpherePartitioner
 from repro.fv3.acoustics import RankWorkspace
 from repro.fv3.stencils.c_sw import CGridSolver
@@ -57,6 +57,8 @@ class SingleRankDynCore:
         self.h = constants.N_HALO
         self.partitioner = CubedSpherePartitioner(config.npx, 1)
         self.grid = CubedSphereGrid.build(self.partitioner, 0, self.h)
+        from repro.scenarios.library import baroclinic_state
+
         self.state = baroclinic_state(self.grid, config)
         nx = ny = config.npx
         nk = config.npz

@@ -39,6 +39,7 @@ def to_json(tracer: Optional[Tracer] = None, indent: Optional[int] = 2) -> str:
         "machine": observed_machine().name,
         "spans": [snapshot(c) for c in tracer.root.children.values()],
         "runtime": _runtime_summary(),
+        "ensemble": _ensemble_summary(),
         "resilience": _resilience_summary(),
     }
     return json.dumps(payload, indent=indent)
@@ -115,6 +116,7 @@ def report(
     for child in tracer.root.children.values():
         _render(child, 0, lines, machine)
     lines.extend(_runtime_lines())
+    lines.extend(_ensemble_lines())
     lines.extend(_resilience_lines())
     return "\n".join(lines)
 
@@ -160,6 +162,30 @@ def _runtime_lines() -> List[str]:
             f"{rk['exchanges']} split exchanges)"
         )
     return lines
+
+
+def _ensemble_lines() -> List[str]:
+    """Footer summarizing ensemble amortization, shown once the
+    experiment facade has driven at least one run."""
+    es = _ensemble_summary()
+    if not es["runs"]:
+        return []
+    rate = es["compile_amortization"]
+    rate_cell = f"{100 * rate:.0f}%" if rate is not None else "n/a"
+    return [
+        f"ensemble: {es['runs']} run(s), {es['members']} member(s), "
+        f"{es['member_steps']} member-steps in {es['seconds']:.3f}s; "
+        f"amortized {es['grid_builds_avoided']} grid builds, "
+        f"compile cache {es['compile_hits']} hits / "
+        f"{es['compile_misses']} misses ({rate_cell}), "
+        f"pool reuse {es['pool_reuse_hits']}"
+    ]
+
+
+def _ensemble_summary() -> Dict[str, object]:
+    from repro.run import metrics
+
+    return metrics.summary()
 
 
 def _resilience_lines() -> List[str]:

@@ -1,0 +1,481 @@
+"""The batched ensemble driver and the single-core factory.
+
+``EnsembleDriver`` owns N members of one scenario and steps them all
+through **one** engine :class:`~repro.fv3.dyncore.DynamicalCore`. Each
+member's prognostic state lives in its own arrays; to advance a member
+the driver copies its state into the engine's arrays (``np.copyto``,
+preserving array identity), steps, and copies back. Because every
+compiled program is bound to the engine's arrays, the per-member fixed
+costs are paid exactly once for the whole ensemble:
+
+- the cubed-sphere geometry is built once;
+- the whole stencil suite is orchestrated and compiled once (the
+  content-hash compile cache sees one engine, so the batched run's
+  compile misses equal a single run's, not N times them);
+- scratch arrays cycle through the process-wide
+  :class:`~repro.runtime.BufferPool` instead of being allocated per
+  member.
+
+This swap is bit-exact by the same argument the PR-4 rollback/retry
+loop rests on: a remapping step re-advanced from a restored
+:class:`~repro.resilience.Snapshot` (arrays + time + step) finishes
+bit-identical, i.e. the engine holds no live cross-step state outside
+the swapped fields. The ensemble determinism tests pin this down.
+
+Seeding contract: member k's perturbation stream is
+``np.random.SeedSequence(root_seed, spawn_key=(k,))`` — a pure function
+of (root seed, member id), so member k is bit-identical whether it runs
+alone or inside any batch. Member 0 is the unperturbed control: a
+``members=1`` run reproduces the pre-ensemble single-run numerics
+exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pathlib
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.fv3.config import DynamicalCoreConfig
+from repro.fv3.dyncore import DynamicalCore
+from repro.fv3.grid import CubedSphereGrid
+from repro.fv3.initial import RankFields
+from repro.fv3.partitioner import CubedSpherePartitioner
+from repro.obs import tracer as _obs
+from repro.resilience import ResilienceConfig, load_checkpoint, \
+    save_checkpoint
+from repro.run import metrics as _metrics
+from repro.run.results import MemberResult, RunResult
+from repro.runtime import compile_cache as _compile_cache
+from repro.runtime import ranks as _ranks
+from repro.runtime.pool import get_pool
+from repro.scenarios import Scenario, get_scenario
+
+__all__ = ["EnsembleDriver", "build_core", "build_grids", "member_rng",
+           "resolve_executor"]
+
+_TRACER = _obs.get_tracer()
+
+#: accepted executor spellings for the facade's ``executor=`` argument
+_EXECUTOR_NAMES = ("sequential", "threads")
+
+#: the swapped per-member prognostic fields (tracers handled separately)
+_STATE_FIELDS = ("u", "v", "w", "pt", "delp", "delz")
+
+
+def resolve_executor(
+    executor: Union[None, str, _ranks.RankExecutor] = None,
+    workers: Optional[int] = None,
+    total_ranks: int = 6,
+) -> Tuple[Optional[_ranks.RankExecutor], bool]:
+    """Resolve the facade's ``executor=`` argument.
+
+    Returns ``(executor_or_None, owned)`` — ``None`` defers to the
+    process default (``REPRO_RANKS``); ``owned`` means the caller is
+    responsible for ``shutdown()``.
+    """
+    if executor is None:
+        return None, False
+    if isinstance(executor, _ranks.RankExecutor):
+        return executor, False
+    name = str(executor).strip().lower()
+    if name == "sequential":
+        return _ranks.RankExecutor(1), True
+    if name == "threads":
+        return _ranks.RankExecutor(workers or total_ranks), True
+    raise ValueError(
+        f"unknown executor {executor!r}; expected one of "
+        f"{', '.join(map(repr, _EXECUTOR_NAMES))}, a RankExecutor, "
+        f"or None"
+    )
+
+
+def member_rng(root_seed: int, member: int) -> Optional[np.random.Generator]:
+    """The perturbation stream of one member (None for the control).
+
+    Built from ``SeedSequence(root_seed, spawn_key=(member,))`` so the
+    stream depends only on (root seed, member id) — never on batch
+    size or on which other members run.
+    """
+    if member == 0:
+        return None
+    return np.random.default_rng(
+        np.random.SeedSequence(root_seed, spawn_key=(member,))
+    )
+
+
+def build_grids(config: DynamicalCoreConfig,
+                n_halo: Optional[int] = None) -> List[CubedSphereGrid]:
+    """Build the per-rank geometry once (shared by ensemble members)."""
+    from repro.fv3 import constants
+
+    h = constants.N_HALO if n_halo is None else n_halo
+    partitioner = CubedSpherePartitioner(config.npx, config.layout)
+    return [
+        CubedSphereGrid.build(partitioner, rank, n_halo=h)
+        for rank in range(partitioner.total_ranks)
+    ]
+
+
+def build_core(
+    scenario: Union[str, Scenario],
+    config: Optional[DynamicalCoreConfig] = None,
+    *,
+    member: int = 0,
+    seed: int = 0,
+    executor: Union[None, str, _ranks.RankExecutor] = None,
+    workers: Optional[int] = None,
+    resilience: Optional[ResilienceConfig] = None,
+    comm_latency: Optional[float] = None,
+    max_polls: Optional[int] = None,
+    grids: Optional[List[CubedSphereGrid]] = None,
+) -> DynamicalCore:
+    """The single source of truth for wiring one member's ranks.
+
+    Examples and benchmarks that used to hand-assemble
+    ``DynamicalCoreConfig → DynamicalCore → comm knobs`` call this (or
+    :func:`repro.run.run` above it) instead. ``comm_latency`` and
+    ``max_polls`` configure the simulated transport exactly like the
+    scaling benchmark needs.
+    """
+    scen = get_scenario(scenario)
+    cfg = config if config is not None else scen.default_config()
+    ex, _ = resolve_executor(executor, workers, cfg.total_ranks)
+    core = DynamicalCore(
+        cfg,
+        init=scen.initializer(member_rng(seed, member)),
+        resilience=resilience,
+        executor=ex,
+        grids=grids,
+    )
+    if comm_latency is not None:
+        core.halo.comm.latency = comm_latency
+    if max_polls is not None:
+        core.halo.comm.max_polls = max_polls
+    return core
+
+
+def _member_resilience(
+    base: Optional[ResilienceConfig], member: int
+) -> Optional[ResilienceConfig]:
+    """Per-member resilience: periodic checkpoints get their own
+    subdirectory so members never overwrite each other's files."""
+    if base is None or not base.checkpoint_dir:
+        return base
+    return dataclasses.replace(
+        base,
+        checkpoint_dir=str(
+            pathlib.Path(base.checkpoint_dir) / f"member{member:03d}"
+        ),
+    )
+
+
+@dataclasses.dataclass
+class _Member:
+    """One member's canonical state (the engine holds only a working
+    copy while the member is being stepped)."""
+
+    member: int
+    states: List[RankFields]
+    resilience: Optional[ResilienceConfig]
+    time: float = 0.0
+    step_count: int = 0
+    mass0: float = 0.0
+    tracer0: Optional[float] = None
+
+
+def _copy_states(src: Sequence[RankFields], dst: Sequence[RankFields]):
+    for s, d in zip(src, dst):
+        for f in _STATE_FIELDS:
+            np.copyto(getattr(d, f), getattr(s, f))
+        for ts, td in zip(s.tracers, d.tracers):
+            np.copyto(td, ts)
+
+
+class EnsembleDriver:
+    """N members of one scenario batched through one engine core.
+
+    ``members`` is either a count (ids ``0..N-1``, 0 = control) or an
+    explicit sequence of member ids — ``members=(3,)`` runs member 3
+    standalone with exactly the state it would have inside a batch.
+
+    Stepping is *step-major*: every member advances step s before any
+    member starts s+1, so all members flow through the engine's hot
+    compiled programs and pooled buffers together.
+    """
+
+    def __init__(
+        self,
+        scenario: Union[str, Scenario],
+        config: Optional[DynamicalCoreConfig] = None,
+        *,
+        members: Union[int, Sequence[int]] = 1,
+        seed: int = 0,
+        executor: Union[None, str, _ranks.RankExecutor] = None,
+        workers: Optional[int] = None,
+        resilience: Optional[ResilienceConfig] = None,
+        comm_latency: Optional[float] = None,
+        max_polls: Optional[int] = None,
+        diagnostics: bool = True,
+    ):
+        self.scenario = get_scenario(scenario)
+        self.config = (
+            config if config is not None else self.scenario.default_config()
+        )
+        if isinstance(members, (int, np.integer)):
+            if members < 1:
+                raise ValueError("members must be >= 1")
+            self.member_ids: Tuple[int, ...] = tuple(range(int(members)))
+        else:
+            self.member_ids = tuple(int(m) for m in members)
+            if not self.member_ids:
+                raise ValueError("members sequence must not be empty")
+            if len(set(self.member_ids)) != len(self.member_ids):
+                raise ValueError("duplicate member ids")
+        self.seed = int(seed)
+        self.diagnostics = diagnostics
+        self.executor, self._owns_executor = resolve_executor(
+            executor, workers, self.config.total_ranks
+        )
+        # one engine core: its compiled stencil suite serves every member
+        with _TRACER.span("ensemble.build_engine"):
+            self.engine = build_core(
+                self.scenario,
+                self.config,
+                member=0,
+                seed=self.seed,
+                executor=self.executor,
+                resilience=resilience,
+                comm_latency=comm_latency,
+                max_polls=max_polls,
+            )
+        self._grid_builds = len(self.engine.grids)
+        self._grid_builds_avoided = (
+            (len(self.member_ids) - 1) * self._grid_builds
+        )
+        # member states: the control reuses the engine's freshly built
+        # initial state; perturbed members build their own
+        self.members: Dict[int, _Member] = {}
+        for m in self.member_ids:
+            with _TRACER.span(f"ensemble.build[{m}]"):
+                rng = member_rng(self.seed, m)
+                states = [
+                    self.scenario.build_state(grid, self.config, rng)
+                    for grid in self.engine.grids
+                ]
+                self.members[m] = _Member(
+                    member=m,
+                    states=states,
+                    resilience=_member_resilience(resilience, m),
+                )
+        # conservation baselines for the driver-level reference checks
+        for m in self.member_ids:
+            self._activate(m)
+            self.members[m].mass0 = self.engine.global_integral("delp")
+            self.members[m].tracer0 = (
+                self.engine.tracer_integral(0)
+                if self.config.n_tracers else None
+            )
+        self.history: Dict[int, List[Dict[str, float]]] = {
+            m: [] for m in self.member_ids
+        }
+        self.steps_taken = 0
+
+    # ------------------------------------------------------------------
+    # state swap
+    # ------------------------------------------------------------------
+    def _activate(self, member: int) -> _Member:
+        """Load one member's state into the engine's arrays."""
+        rec = self.members[member]
+        _copy_states(rec.states, self.engine.states)
+        self.engine.time = rec.time
+        self.engine.step_count = rec.step_count
+        self.engine.resilience = rec.resilience
+        return rec
+
+    def _store(self, member: int) -> None:
+        """Copy the engine's (just stepped) state back to the member."""
+        rec = self.members[member]
+        _copy_states(self.engine.states, rec.states)
+        rec.time = self.engine.time
+        rec.step_count = self.engine.step_count
+
+    # ------------------------------------------------------------------
+    def step(self, n: int = 1) -> None:
+        """Advance every member ``n`` physics steps, step-major."""
+        for _ in range(n):
+            with _TRACER.span("ensemble.step"):
+                for m in self.member_ids:
+                    with _TRACER.span(f"member[{m}]"):
+                        self._activate(m)
+                        self.engine.step_dynamics()
+                        if self.diagnostics:
+                            self.history[m].append(self._diagnose(m))
+                        self._store(m)
+            self.steps_taken += 1
+
+    def _diagnose(self, member: int) -> Dict[str, float]:
+        """Summarize the loaded member from the engine's state."""
+        entry = dict(self.engine.state_summary())
+        entry["step"] = self.engine.step_count
+        entry["mass_drift"] = self._mass_drift_loaded(member)
+        drift = self._tracer_drift_loaded(member)
+        if drift is not None:
+            entry["tracer_drift"] = drift
+        return entry
+
+    def _mass_drift_loaded(self, member: int) -> float:
+        mass0 = self.members[member].mass0
+        return (self.engine.global_integral("delp") - mass0) / mass0
+
+    def _tracer_drift_loaded(self, member: int) -> Optional[float]:
+        t0 = self.members[member].tracer0
+        if not t0:
+            return None
+        return (self.engine.tracer_integral(0) - t0) / t0
+
+    def mass_drift(self, member: int) -> float:
+        self._activate(member)
+        return self._mass_drift_loaded(member)
+
+    def tracer_drift(self, member: int) -> Optional[float]:
+        self._activate(member)
+        return self._tracer_drift_loaded(member)
+
+    # ------------------------------------------------------------------
+    def reference_check(self, member: Optional[int] = None
+                        ) -> Dict[int, List[str]]:
+        """Scenario checks plus conservation tolerances, per member."""
+        targets = self.member_ids if member is None else (member,)
+        out: Dict[int, List[str]] = {}
+        for m in targets:
+            self._activate(m)
+            violations = self.scenario.reference_check(
+                self.engine, self.steps_taken
+            )
+            tol = self.scenario.mass_drift_tol
+            if tol is not None:
+                drift = self._mass_drift_loaded(m)
+                if abs(drift) > tol:
+                    violations.append(
+                        f"mass drift {drift:+.2e} exceeds {tol:.0e}"
+                    )
+            ttol = self.scenario.tracer_drift_tol
+            tdrift = self._tracer_drift_loaded(m)
+            if ttol is not None and tdrift is not None:
+                if abs(tdrift) > ttol:
+                    violations.append(
+                        f"tracer mass drift {tdrift:+.2e} exceeds "
+                        f"{ttol:.0e}"
+                    )
+            out[m] = violations
+        return out
+
+    # ------------------------------------------------------------------
+    # per-member checkpoint/restart (repro.resilience underneath)
+    # ------------------------------------------------------------------
+    def checkpoint_member(self, member: int, path=None) -> pathlib.Path:
+        """Write one member's versioned on-disk checkpoint."""
+        rec = self.members[member]
+        if path is None:
+            res = rec.resilience
+            if res is None or not res.checkpoint_dir:
+                raise ValueError(
+                    "no path given and no checkpoint_dir configured"
+                )
+            path = (
+                pathlib.Path(res.checkpoint_dir)
+                / f"ckpt_step{rec.step_count:06d}.npz"
+            )
+        return save_checkpoint(
+            path, rec.states, rec.time, rec.step_count,
+            extra_meta={
+                "npx": self.config.npx, "npz": self.config.npz,
+                "layout": self.config.layout, "member": member,
+                "scenario": self.scenario.name,
+            },
+        )
+
+    def restore_member(self, member: int, path) -> Dict[str, object]:
+        """Restore one member from a checkpoint file (the other
+        members are untouched)."""
+        rec = self.members[member]
+        meta = load_checkpoint(path, rec.states)
+        rec.time = float(meta["time"])
+        rec.step_count = int(meta["step"])
+        return meta
+
+    # ------------------------------------------------------------------
+    def run(self, steps: int, check: bool = True) -> RunResult:
+        """Step all members and assemble the structured result."""
+        cache0 = _compile_cache.stats()
+        pool0 = get_pool().stats()
+        t0 = time.perf_counter()
+        with _TRACER.span("ensemble.run"):
+            self.step(steps)
+        seconds = time.perf_counter() - t0
+        cache1 = _compile_cache.stats()
+        pool1 = get_pool().stats()
+        amortization = {
+            "members": len(self.member_ids),
+            "grid_builds": self._grid_builds,
+            "grid_builds_avoided": self._grid_builds_avoided,
+            "compile_hits": cache1["hits"] - cache0["hits"],
+            "compile_misses": cache1["misses"] - cache0["misses"],
+            "pool_reuse_hits": pool1["reuse_hits"] - pool0["reuse_hits"],
+        }
+        _metrics.record_run(
+            members=len(self.member_ids),
+            member_steps=steps * len(self.member_ids),
+            seconds=seconds,
+            grid_builds=self._grid_builds,
+            grid_builds_avoided=self._grid_builds_avoided,
+            compile_hits=amortization["compile_hits"],
+            compile_misses=amortization["compile_misses"],
+            pool_reuse_hits=amortization["pool_reuse_hits"],
+        )
+        checks = (
+            self.reference_check() if check
+            else {m: [] for m in self.member_ids}
+        )
+        members = []
+        for m in self.member_ids:
+            self._activate(m)
+            members.append(MemberResult(
+                member=m,
+                steps=self.steps_taken,
+                summary=self.engine.state_summary(),
+                mass_drift=self._mass_drift_loaded(m),
+                tracer_drift=self._tracer_drift_loaded(m),
+                check_violations=checks[m],
+                history=list(self.history[m]),
+                states=self.members[m].states,
+            ))
+        return RunResult(
+            scenario=self.scenario.name,
+            config=self.config,
+            steps=self.steps_taken,
+            seed=self.seed,
+            members=members,
+            seconds=seconds,
+            executor=repr(self.engine.executor),
+            amortization=amortization,
+            engine=self.engine,
+        )
+
+    # ------------------------------------------------------------------
+    def close(self, strict: bool = False) -> None:
+        """Drain the engine's halo machinery; shut down an owned
+        executor (member states stay inspectable afterwards)."""
+        self.engine.finalize(strict=strict)
+        if self._owns_executor and self.executor is not None:
+            self.executor.shutdown()
+
+    def __enter__(self) -> "EnsembleDriver":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

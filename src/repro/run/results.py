@@ -1,0 +1,95 @@
+"""Structured results of a facade run: per-member and ensemble views."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+__all__ = ["MemberResult", "RunResult"]
+
+
+@dataclasses.dataclass
+class MemberResult:
+    """Outcome of one ensemble member (the control is member 0).
+
+    ``states`` are the member's own per-rank
+    :class:`~repro.fv3.initial.RankFields` — canonical, inspectable
+    after the run, and independent of every other member. The engine
+    core the members were stepped through is on the owning
+    :class:`RunResult` (``result.engine``).
+    """
+
+    member: int
+    steps: int
+    summary: Dict[str, float]
+    mass_drift: float
+    tracer_drift: Optional[float]
+    check_violations: List[str]
+    history: List[Dict[str, float]]
+    states: List[object]
+
+    @property
+    def ok(self) -> bool:
+        return not self.check_violations
+
+
+@dataclasses.dataclass
+class RunResult:
+    """What :func:`repro.run.run` returns: members + amortization.
+
+    ``engine`` is the shared :class:`~repro.fv3.dyncore.DynamicalCore`
+    every member was stepped through — use it for geometry
+    (``engine.grids``, ``engine.h``) and communication diagnostics
+    (``engine.halo.comm``); after the run it holds a working copy of
+    the last member's state, so per-member fields belong on
+    ``member(k).states``.
+    """
+
+    scenario: str
+    config: object
+    steps: int
+    seed: int
+    members: List[MemberResult]
+    seconds: float
+    executor: str
+    amortization: Dict[str, object]
+    engine: object = None
+
+    def member(self, member_id: int) -> MemberResult:
+        for m in self.members:
+            if m.member == member_id:
+                return m
+        raise KeyError(f"no member {member_id} in this run")
+
+    @property
+    def ok(self) -> bool:
+        return all(m.ok for m in self.members)
+
+    @property
+    def violations(self) -> Dict[int, List[str]]:
+        return {
+            m.member: m.check_violations
+            for m in self.members if m.check_violations
+        }
+
+    def describe(self) -> str:
+        """A short human-readable account of the run."""
+        am = self.amortization
+        lines = [
+            f"scenario {self.scenario!r}: {len(self.members)} member(s) x "
+            f"{self.steps} step(s) in {self.seconds:.3f}s "
+            f"[{self.executor}]",
+        ]
+        for m in self.members:
+            status = "OK" if m.ok else "; ".join(m.check_violations)
+            lines.append(
+                f"  member {m.member}: max|V|={m.summary['max_wind']:.2f} "
+                f"m/s  mass drift={m.mass_drift:+.2e}  checks: {status}"
+            )
+        lines.append(
+            f"  amortized: grids {am['grid_builds_avoided']} builds "
+            f"avoided, compile cache {am['compile_hits']} hits / "
+            f"{am['compile_misses']} misses, pool reuse "
+            f"{am['pool_reuse_hits']}"
+        )
+        return "\n".join(lines)

@@ -1,0 +1,48 @@
+"""repro.scenarios — the experiment scenario registry.
+
+Named, reference-checked experiment definitions: initial-condition
+builders, suggested configurations, ensemble perturbation recipes and
+physics checks, resolved by name through a process-wide registry.
+
+Built-ins (registered on import):
+
+- ``baroclinic_wave`` — the paper's Sec. IX perturbed zonal jet.
+- ``solid_body_rotation`` — Williamson test 1 tracer transport.
+- ``rotated_transport`` — the same rotation tilted 45°, crossing tile
+  seams and corners.
+- ``resting_atmosphere`` — the discrete steady state; any developing
+  circulation is a solver bug.
+
+The :mod:`repro.run` facade resolves ``run("baroclinic_wave", ...)``
+here; register your own with :func:`register_scenario`.
+"""
+
+from repro.scenarios.base import (
+    Perturbation,
+    Scenario,
+    SmoothPerturbation,
+    UnknownScenarioError,
+    available_scenarios,
+    get_scenario,
+    register_scenario,
+)
+from repro.scenarios import library
+from repro.scenarios.library import (
+    baroclinic_state,
+    gaussian_tracer,
+    solid_body_rotation_winds,
+)
+
+__all__ = [
+    "Perturbation",
+    "Scenario",
+    "SmoothPerturbation",
+    "UnknownScenarioError",
+    "available_scenarios",
+    "baroclinic_state",
+    "gaussian_tracer",
+    "get_scenario",
+    "library",
+    "register_scenario",
+    "solid_body_rotation_winds",
+]

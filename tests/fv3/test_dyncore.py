@@ -115,12 +115,8 @@ def test_solid_body_tracer_advection():
     """Williamson test 1: a blob advected by solid-body rotation keeps its
     mass and (approximately) its shape."""
     from repro.fv3 import constants
-    from repro.fv3.initial import (
-        RankFields,
-        gaussian_tracer,
-        reference_coordinate,
-        solid_body_rotation_winds,
-    )
+    from repro.fv3.initial import RankFields, reference_coordinate
+    from repro.scenarios import gaussian_tracer, solid_body_rotation_winds
 
     cfg = DynamicalCoreConfig(
         npx=16, npz=3, layout=1, dt_atmos=900.0, k_split=1, n_split=2,
