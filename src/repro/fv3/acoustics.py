@@ -37,6 +37,111 @@ from repro.runtime import ranks as _ranks
 _TRACER = _obs.get_tracer()
 
 
+def acoustic_comm_plan(halo: HaloUpdater | None = None, *,
+                       overlap: bool = True):
+    """The acoustic sub-step's communication schedule as a static
+    :class:`repro.lint.plan_ir.CommPlan`.
+
+    This is the declared contract the C3xx protocol rules verify: the
+    split wind and scalar exchanges with their tag-slot bases, and the
+    compute ops between them with read/write footprints taken from the
+    real stencil extents. ``overlap=True`` mirrors ``_substep_rank``'s
+    pipelined path, ``overlap=False`` the ``REPRO_OVERLAP=0`` ordering.
+    Message edges come from ``halo.comm_schedule()`` (a default 6-rank
+    decomposition when no updater is passed).
+    """
+    from repro.lint import plan_ir
+    from repro.fv3.stencils.c_sw import cgrid_winds_x, cgrid_winds_y
+    from repro.fv3.stencils.riem_solver_c import (
+        precompute_coefficients,
+        tridiagonal_solve,
+        update_heights_pressure,
+    )
+
+    if halo is None:
+        halo = HaloUpdater(CubedSpherePartitioner(12, 1))
+    h = halo.n_halo
+    winds = plan_ir.ExchangeDecl("winds", ("u", "v"), fslot_base=0,
+                                 vector=True)
+    # in the overlap path the transported scalars fly concurrently with
+    # the winds, so they sit past the wind exchange's two slots; the
+    # sequential path runs them after finish_vector on the default base
+    scalars = plan_ir.ExchangeDecl(
+        "scalars", ("delp", "pt", "w"), fslot_base=2 if overlap else 0
+    )
+    riemann_op = plan_ir.compute_op_from_stencils("riem_solver_c", [
+        (precompute_coefficients,
+         {"delz": "delz", "pt": "pt", "w": "w", "delp": "delp"}),
+        (tridiagonal_solve, {"w": "w"}),
+        (update_heights_pressure,
+         {"w": "w", "delz": "delz", "pe": "pe_nh", "delp": "delp",
+          "pt": "pt"}),
+    ])
+    # c_sw computes interface quantities over the halo-extended domain,
+    # reading the full wind halos (its other parameters are private
+    # workspace arrays, not exchanged fields)
+    c_sw_op = plan_ir.compute_op_from_stencils("c_sw", [
+        (cgrid_winds_x, {"ua": "u"}, h),
+        (cgrid_winds_y, {"va": "v"}, h),
+    ])
+    d_sw_op = plan_ir.ComputeOp(
+        "d_sw",
+        reads={f: plan_ir.halo_extent(h)
+               for f in ("u", "v", "delp", "pt", "w")},
+        writes={f: plan_ir.halo_extent(0)
+                for f in ("u", "v", "delp", "pt", "w")},
+    )
+    if overlap:
+        program = (
+            plan_ir.StartOp("winds"),
+            riemann_op,
+            plan_ir.StartOp("scalars"),
+            plan_ir.AdvanceOp("winds"),
+            plan_ir.AdvanceOp("scalars"),
+            plan_ir.FinishOp("winds"),
+            c_sw_op,
+            plan_ir.FinishOp("scalars"),
+            d_sw_op,
+        )
+    else:
+        # The C305 exposed-window findings below are real and accepted:
+        # with overlap disabled the split API degenerates to an atomic
+        # exchange (start immediately followed by finish, nothing inside
+        # the window). That is the point of REPRO_OVERLAP=0 — it keeps
+        # the exact sequential op order that the bit-identity contract
+        # of the scaling tests compares against, trading latency hiding
+        # away on purpose, so the "window hides no latency" warning is
+        # expected rather than a scheduling bug.
+        program = (
+            plan_ir.StartOp("winds"),  # lint: ignore[C305] — deliberate empty window, see above
+            plan_ir.FinishOp("winds"),
+            riemann_op,
+            c_sw_op,
+            plan_ir.StartOp("scalars"),  # lint: ignore[C305] — deliberate empty window, see above
+            plan_ir.FinishOp("scalars"),
+            d_sw_op,
+        )
+    return plan_ir.CommPlan.spmd(
+        name=(
+            "acoustics.substep.overlap"
+            if overlap else "acoustics.substep.sequential"
+        ),
+        n_ranks=halo.partitioner.total_ranks,
+        exchanges=(winds, scalars),
+        program=program,
+        edges=halo.comm_schedule(),
+    )
+
+
+def build_comm_plans():
+    """Discovery hook for ``python -m repro.lint --comm``: both acoustic
+    schedules, on the default 6-rank decomposition."""
+    return [
+        acoustic_comm_plan(overlap=True),
+        acoustic_comm_plan(overlap=False),
+    ]
+
+
 class RankWorkspace:
     """Per-rank work arrays of the acoustic step."""
 
@@ -112,6 +217,14 @@ class AcousticDynamics:
                             bounds=partitioner.bounds(rank), n_halo=n_halo)
             )
             self.riemann.append(RiemannSolverC(nx, ny, nk, n_halo=n_halo))
+
+    def comm_plan(self, overlap: bool | None = None):
+        """This instance's communication schedule over its real halo
+        topology, for the C3xx protocol checker and the transformation
+        audit. ``overlap=None`` resolves from ``REPRO_OVERLAP``."""
+        if overlap is None:
+            overlap = _ranks.overlap_enabled()
+        return acoustic_comm_plan(self.halo, overlap=overlap)
 
     # ------------------------------------------------------------------
     def substep(self, dt: float) -> None:

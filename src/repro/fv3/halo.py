@@ -166,6 +166,23 @@ class HaloUpdater:
                         (dst, pi, plan)
                     )
 
+    def comm_schedule(self) -> List[Tuple[int, int, int, int, int]]:
+        """The message topology as plain ``(src, dst, phase, plan_index,
+        cells)`` tuples — what one full exchange posts, per phase.
+
+        This is the extraction point for the static protocol checker
+        (``repro.lint.plan_ir.edges_from_schedule``): plain tuples so the
+        lint layer needs nothing from this module.
+        """
+        edges = []
+        for dst in range(self.partitioner.total_ranks):
+            for phase in (0, 1):
+                for pi, plan in enumerate(self.plans[dst][phase]):
+                    edges.append(
+                        (plan.src_rank, dst, phase, pi, plan.cells)
+                    )
+        return edges
+
     def _plan_buf(self, key: tuple, shape, dtype) -> np.ndarray:
         buf = self._bufs.get(key)
         if buf is None or buf.shape != shape or buf.dtype != dtype:
@@ -298,10 +315,12 @@ class HaloUpdater:
                     req.wait()
                     fields[rank][plan.dst_i, plan.dst_j] = buf
             except HaloTimeoutError as exc:
-                # the tag encoding is ours, so the phase is named here;
-                # drain the aborted exchange so a retry can repost every
-                # send without tripping the duplicate-key check
+                # the tag encoding is ours, so the phase and tag slot are
+                # named here; drain the aborted exchange so a retry can
+                # repost every send without tripping the duplicate-key
+                # check
                 exc.phase = phase
+                exc.fslot_base = 0  # the atomic path always uses slot 0
                 _record("halo_timeouts")
                 comm.drain()
                 raise
@@ -402,7 +421,7 @@ class HaloUpdater:
         return reqs
 
     def _finish_rank_phase(self, rank: int, slots, reqs,
-                           phase: int) -> float:
+                           phase: int, fslot_base: int = 0) -> float:
         """Complete one phase's receives and scatter the halo cells;
         returns the seconds this rank spent blocked in waits.
 
@@ -419,7 +438,10 @@ class HaloUpdater:
                 blocked += time.perf_counter() - t0
                 slots[fslot][rank][plan.dst_i, plan.dst_j] = buf
         except HaloTimeoutError as exc:
+            # name the owning exchange's tag-slot window so the timeout
+            # is cross-referenceable with the C3xx protocol findings
             exc.phase = phase
+            exc.fslot_base = fslot_base
             _record("halo_timeouts")
             raise
         return blocked
@@ -449,7 +471,9 @@ class HaloUpdater:
             raise ValueError("advance() called twice on one exchange")
         rank, slots = ex.rank, ex.slots
         with _TRACER.span("halo.advance"):
-            ex.blocked += self._finish_rank_phase(rank, slots, ex.reqs, 0)
+            ex.blocked += self._finish_rank_phase(
+                rank, slots, ex.reqs, 0, ex.fslot_base
+            )
             if ex.vector:
                 self._rotate_rank(rank, slots[0], slots[1], 0)
             self._post_rank_sends(rank, slots, 1, ex.fslot_base)
@@ -462,14 +486,14 @@ class HaloUpdater:
         with _TRACER.span("halo.finish"):
             if ex.phase == 0:
                 ex.blocked += self._finish_rank_phase(
-                    rank, slots, ex.reqs, 0
+                    rank, slots, ex.reqs, 0, ex.fslot_base
                 )
                 if ex.vector:
                     self._rotate_rank(rank, slots[0], slots[1], 0)
                 self._post_rank_sends(rank, slots, 1, ex.fslot_base)
                 ex.reqs = self._post_rank_recvs(rank, slots, 1, ex.fslot_base)
             blocked = ex.blocked + self._finish_rank_phase(
-                rank, slots, ex.reqs, 1
+                rank, slots, ex.reqs, 1, ex.fslot_base
             )
             if ex.vector:
                 self._rotate_rank(rank, slots[0], slots[1], 1)

@@ -5,8 +5,22 @@ filesystem paths; a directory is linted recursively (every ``*.py`` file
 except ``_``-prefixed ones). Each module is imported and every
 ``StencilObject`` and ``SDFG`` found in its namespace is linted.
 
+``--comm`` additionally runs the C3xx communication-protocol rules over
+every :class:`~repro.lint.plan_ir.CommPlan` the target modules expose —
+either as module-level instances or through a module-level
+``build_comm_plans()`` hook (the convention :mod:`repro.fv3.acoustics`
+follows).
+
+``--scenario NAME`` discovers lint subjects *through the experiment
+registry*: the named scenario is wired into a real (small) core with
+:func:`repro.run.driver.build_core`, the resulting object graph is
+walked, and every repro-owned module a live object came from is linted.
+This catches stencils reachable only through runtime composition that a
+plain module listing would miss.
+
 Exit status is 1 if any unsuppressed finding at or above ``--fail-on``
-(default: error) is reported, 0 otherwise — wired for CI.
+(default: error) is reported, 0 otherwise — wired for CI. ``--json``
+writes the machine-readable findings + summary next to the human report.
 """
 
 from __future__ import annotations
@@ -14,10 +28,12 @@ from __future__ import annotations
 import argparse
 import importlib
 import importlib.util
+import json
 import sys
 from pathlib import Path
-from typing import Iterable, List, Tuple
+from typing import Iterable, List, Set, Tuple
 
+from repro.lint.comm_rules import lint_comm_plan
 from repro.lint.dsl_rules import lint_stencil
 from repro.lint.findings import (
     SEVERITIES,
@@ -86,22 +102,152 @@ def collect_targets(module) -> Tuple[List, List]:
     return stencils, sdfgs
 
 
-def lint_target(target: str) -> List[LintFinding]:
+def collect_comm_plans(module) -> List:
+    """CommPlans a module exposes: module-level instances, plus whatever
+    a module-level ``build_comm_plans()`` hook constructs on demand
+    (plans over real topologies are usually too expensive to build at
+    import time)."""
+    from repro.lint.plan_ir import CommPlan
+
+    plans, seen = [], set()
+    for name in sorted(vars(module)):
+        obj = vars(module)[name]
+        if isinstance(obj, CommPlan) and id(obj) not in seen:
+            plans.append(obj)
+            seen.add(id(obj))
+    hook = vars(module).get("build_comm_plans")
+    if callable(hook):
+        for plan in hook():
+            if isinstance(plan, CommPlan) and id(plan) not in seen:
+                plans.append(plan)
+                seen.add(id(plan))
+    return plans
+
+
+def lint_target(target: str, comm: bool = False) -> List[LintFinding]:
     """Lint one module name or path; returns unsorted, unsuppressed-flagged
     findings."""
     findings: List[LintFinding] = []
     path = Path(target)
     if path.exists() and path.is_dir():
         for f in _iter_module_files(path):
-            findings.extend(lint_target(str(f)))
+            findings.extend(lint_target(str(f), comm=comm))
         return findings
     module = _load_module(target)
+    findings.extend(_lint_module(module, comm=comm))
+    return findings
+
+
+def _lint_module(module, comm: bool = False) -> List[LintFinding]:
+    findings: List[LintFinding] = []
     stencils, sdfgs = collect_targets(module)
     for stencil in stencils:
         findings.extend(lint_stencil(stencil))
     for sdfg in sdfgs:
         findings.extend(lint_sdfg(sdfg))
+    if comm:
+        for plan in collect_comm_plans(module):
+            findings.extend(lint_comm_plan(plan))
     return findings
+
+
+def _reachable_repro_modules(root, max_objects: int = 10000) -> List[str]:
+    """Module names of every repro-owned class encountered on the live
+    object graph under ``root``.
+
+    A breadth-first walk over ``__dict__`` values and container
+    elements; anything whose *type* is defined in a ``repro.*`` module
+    contributes that module. This is how ``--scenario`` finds stencils
+    that only exist because the registry composed them — e.g. solvers
+    built inside :func:`repro.run.driver.build_core` whose stencils live
+    in modules nothing on the CLI named."""
+    visited: Set[int] = set()
+    modules: Set[str] = set()
+    queue = [root]
+    while queue and len(visited) < max_objects:
+        obj = queue.pop()
+        if id(obj) in visited:
+            continue
+        visited.add(id(obj))
+        mod = getattr(type(obj), "__module__", "") or ""
+        if mod.split(".", 1)[0] == "repro":
+            modules.add(mod)
+        if isinstance(obj, dict):
+            queue.extend(obj.values())
+            continue
+        if isinstance(obj, (list, tuple, set, frozenset)):
+            queue.extend(obj)
+            continue
+        if mod.split(".", 1)[0] != "repro":
+            continue  # don't wander into numpy/stdlib internals
+        d = getattr(obj, "__dict__", None)
+        if d:
+            queue.extend(d.values())
+    return sorted(modules)
+
+
+def lint_scenario(name: str, comm: bool = False) -> List[LintFinding]:
+    """Build the named scenario into a tiny sequential core and lint
+    every repro module its live object graph reaches."""
+    from repro.run.driver import build_core
+    from repro.scenarios import get_scenario
+
+    scen = get_scenario(name)  # fail fast on unknown names
+    core = build_core(
+        name,
+        scen.default_config(npx=12, npz=4),
+        executor="sequential",
+    )
+    try:
+        modules = _reachable_repro_modules(core)
+        findings: List[LintFinding] = []
+        linted: Set[str] = set()
+        for mod_name in modules:
+            module = sys.modules.get(mod_name)
+            if module is None or mod_name in linted:
+                continue
+            linted.add(mod_name)
+            findings.extend(_lint_module(module, comm=comm))
+        return findings
+    finally:
+        core.finalize()
+        if core.executor is not None:
+            core.executor.shutdown()
+
+
+def _findings_json(findings: List[LintFinding], fail_on: str) -> dict:
+    threshold = SEVERITIES.index(fail_on)
+    return {
+        "fail_on": fail_on,
+        "failing": sum(
+            1
+            for f in findings
+            if not f.suppressed
+            and SEVERITIES.index(f.severity) <= threshold
+        ),
+        "counts": {
+            sev: sum(
+                1
+                for f in findings
+                if f.severity == sev and not f.suppressed
+            )
+            for sev in SEVERITIES
+        },
+        "suppressed": sum(1 for f in findings if f.suppressed),
+        "findings": [
+            {
+                "rule": f.rule,
+                "name": f.name,
+                "severity": f.severity,
+                "subject": f.subject,
+                "message": f.message,
+                "location": str(f.location) if f.location else None,
+                "hint": f.hint,
+                "suppressed": f.suppressed,
+            }
+            for f in findings
+        ],
+    }
 
 
 def main(argv=None) -> int:
@@ -111,8 +257,28 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "targets",
-        nargs="+",
+        nargs="*",
         help="module names or paths (directories are linted recursively)",
+    )
+    parser.add_argument(
+        "--comm",
+        action="store_true",
+        help="also run the C3xx protocol rules over CommPlans the "
+        "targets expose (module-level plans and build_comm_plans() "
+        "hooks)",
+    )
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="lint every module reachable from this registered scenario "
+        "(repeatable); builds a small sequential core to discover them",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        help="write findings and summary as JSON to PATH",
     )
     parser.add_argument(
         "--fail-on",
@@ -126,15 +292,36 @@ def main(argv=None) -> int:
         help="also print findings silenced by # lint: ignore[...] comments",
     )
     args = parser.parse_args(argv)
+    if not args.targets and not args.scenario:
+        parser.error("no targets given (positional targets or --scenario)")
 
     findings: List[LintFinding] = []
     for target in args.targets:
         try:
-            findings.extend(lint_target(target))
+            findings.extend(lint_target(target, comm=args.comm))
         except (ImportError, OSError, SyntaxError) as exc:
             print(f"error: cannot lint {target!r}: {exc}", file=sys.stderr)
             return 2
+    for scenario in args.scenario:
+        try:
+            findings.extend(lint_scenario(scenario, comm=args.comm))
+        except Exception as exc:
+            print(
+                f"error: cannot lint scenario {scenario!r}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
     findings = sort_findings(SuppressionIndex().apply(findings))
+
+    # Scenario discovery and multiple targets can reach the same module
+    # twice; a finding is one (rule, subject, location) fact.
+    unique, seen_keys = [], set()
+    for f in findings:
+        if f.key() in seen_keys:
+            continue
+        seen_keys.add(f.key())
+        unique.append(f)
+    findings = unique
 
     shown = suppressed = 0
     for f in findings:
@@ -145,6 +332,12 @@ def main(argv=None) -> int:
         else:
             shown += 1
             print(f)
+
+    if args.json:
+        Path(args.json).write_text(
+            json.dumps(_findings_json(findings, args.fail_on), indent=2)
+            + "\n"
+        )
 
     threshold = SEVERITIES.index(args.fail_on)
     failing = sum(

@@ -36,8 +36,21 @@ from repro.dsl.ir import (
     StencilDef,
     walk_expr,
 )
-from repro.lint.findings import LintFinding
+from repro.lint.findings import LintFinding, register_rules
 from repro.util.loc import SourceLocation
+
+#: Rule id -> rule name, the D1xx catalog.
+DSL_RULES = {
+    "D101": "read-before-write",
+    "D102": "interval-overlap",
+    "D103": "interval-gap",
+    "D104": "extent-mismatch",
+    "D105": "parallel-race",
+    "D106": "dead-store",
+    "D107": "unused-parameter",
+}
+
+register_rules(DSL_RULES)
 
 #: Axes executed concurrently for a given iteration policy: horizontal
 #: dimensions are always map dimensions; K joins them in PARALLEL blocks.

@@ -7,17 +7,21 @@ can be diffed across transformation stages (the pipeline's
 transformation-safety audit keys on :meth:`LintFinding.key`).
 
 Suppression is per source line: a trailing ``# lint: ignore[D105]``
-comment (comma-separated ids, or ``*`` for all) on the line a finding
-points at marks it suppressed. Suppressed findings are kept — reports
-show them dimmed and the CLI does not count them toward the exit code.
+comment (comma-separated ids, a family prefix like ``C3*``, or ``*`` for
+all) on the line a finding points at marks it suppressed. Suppressed
+findings are kept — reports show them dimmed and the CLI does not count
+them toward the exit code. Suppressions naming a rule id no registered
+rule family matches emit :class:`UnknownRuleWarning` — a typo in an
+ignore comment must not silently re-arm the finding it meant to silence.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import re
+import warnings
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.util.loc import SourceLocation
 
@@ -25,6 +29,38 @@ from repro.util.loc import SourceLocation
 SEVERITIES = ("error", "warning", "info")
 
 _SEVERITY_RANK = {s: i for i, s in enumerate(SEVERITIES)}
+
+#: Registry of every rule id the installed rule modules can emit,
+#: ``rule id -> rule name``. Populated at import time by each rules
+#: module via :func:`register_rules`; consulted to warn on suppression
+#: comments naming rules that do not exist.
+KNOWN_RULES: Dict[str, str] = {}
+
+
+class UnknownRuleWarning(UserWarning):
+    """A ``# lint: ignore[...]`` comment names a rule id that no
+    registered rule family can emit (usually a typo)."""
+
+
+def register_rules(rules: Mapping[str, str]) -> None:
+    """Register ``rule id -> rule name`` pairs emitted by a rules module."""
+    KNOWN_RULES.update(rules)
+
+
+def _pattern_matches(pattern: str, rule: str) -> bool:
+    """Suppression pattern semantics: exact id, ``*`` for everything, or
+    a trailing-``*`` family prefix (``C3*`` silences C301…C3xx)."""
+    if pattern == "*":
+        return True
+    if pattern.endswith("*"):
+        return rule.startswith(pattern[:-1])
+    return pattern == rule
+
+
+def _pattern_is_known(pattern: str) -> bool:
+    if pattern == "*":
+        return True
+    return any(_pattern_matches(pattern, rule) for rule in KNOWN_RULES)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -119,6 +155,17 @@ class SuppressionIndex:
                 cached = {}
             else:
                 cached = parse_suppressions(source)
+                if KNOWN_RULES:
+                    for lineno, rules in sorted(cached.items()):
+                        for pattern in sorted(rules):
+                            if not _pattern_is_known(pattern):
+                                warnings.warn(
+                                    f"{path}:{lineno}: suppression names "
+                                    f"unknown rule {pattern!r} (no "
+                                    "registered rule matches)",
+                                    UnknownRuleWarning,
+                                    stacklevel=3,
+                                )
             self._by_file[path] = cached
         return cached
 
@@ -129,7 +176,7 @@ class SuppressionIndex:
         rules = self._load(loc.file).get(loc.line)
         if not rules:
             return False
-        return "*" in rules or finding.rule in rules
+        return any(_pattern_matches(p, finding.rule) for p in rules)
 
     def apply(self, findings: Sequence[LintFinding]) -> List[LintFinding]:
         """Return findings with the ``suppressed`` flag resolved."""

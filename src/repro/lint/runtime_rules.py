@@ -1,0 +1,255 @@
+"""Buffer-lifetime rules (R4xx) over pool event traces and compiled plans.
+
+The :class:`~repro.runtime.pool.BufferPool` arena and the compiled-SDFG
+scratch planner make the hot path allocation-free, at the price of
+manual lifetimes: a buffer released too early is recycled under a live
+reader, a leaked checkout grows the arena forever, and a pooled scratch
+buffer handed to a compiled program as an ``out=`` destination aliases
+two owners. These rules verify recorded lifetime traces:
+
+- **R401 use-after-release** — a buffer is used (or scheduled as a
+  kernel destination) after it went back to the free list; the next
+  checkout of the same shape aliases it.
+- **R402 acquire-release-mismatch** — double acquire of a live buffer,
+  or release of a buffer that is not checked out (double release).
+- **R403 leaked-arena** — buffers still checked out when the trace ends.
+- **R404 scratch-aliasing** — a live pooled buffer owned by one scope
+  (label/rank) is bound as another program's kernel destination: two
+  writers now share storage the pool believes has a single owner.
+
+Traces come from two sources: :func:`record_buffer_events` attaches a
+recorder to a live :class:`BufferPool` (checkout/release/bind events at
+runtime), and :func:`lint_compiled_plan` replays the codegen-time
+alloc/free log of a :class:`~repro.sdfg.codegen.CompiledSDFG` scratch
+plan.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.lint.findings import LintFinding, register_rules
+
+__all__ = [
+    "RUNTIME_RULES",
+    "BufferEvent",
+    "lint_buffer_events",
+    "lint_compiled_plan",
+    "record_buffer_events",
+]
+
+#: Rule id -> rule name, the R4xx catalog.
+RUNTIME_RULES = {
+    "R401": "use-after-release",
+    "R402": "acquire-release-mismatch",
+    "R403": "leaked-arena",
+    "R404": "scratch-aliasing",
+}
+
+register_rules(RUNTIME_RULES)
+
+
+@dataclasses.dataclass(frozen=True)
+class BufferEvent:
+    """One lifetime event of one buffer.
+
+    ``buffer`` is a stable identity for the storage (``id()`` of the
+    array, or a slot index for compiled plans); ``label`` names the
+    owning scope (e.g. ``"sdfg:heat:out"``) and ``rank`` the owning rank
+    thread, both optional.
+    """
+
+    kind: str  # "acquire" | "release" | "use" | "bind"
+    buffer: int
+    key: Optional[Tuple] = None  # (shape, dtype) when known
+    seq: int = 0
+    label: Optional[str] = None
+    rank: Optional[int] = None
+
+    def describe(self) -> str:
+        what = f"buffer {self.buffer:#x}" if self.buffer > 0xFFFF else (
+            f"slot {self.buffer}"
+        )
+        if self.key:
+            what += f" {self.key[0]}×{self.key[1]}"
+        return what
+
+
+def _finding(rule: str, severity: str, subject: str, message: str,
+             hint: Optional[str] = None) -> LintFinding:
+    return LintFinding(
+        rule=rule,
+        name=RUNTIME_RULES[rule],
+        severity=severity,
+        subject=subject,
+        message=message,
+        hint=hint,
+    )
+
+
+def _owner(ev: BufferEvent) -> str:
+    parts = []
+    if ev.label is not None:
+        parts.append(ev.label)
+    if ev.rank is not None:
+        parts.append(f"rank {ev.rank}")
+    return " / ".join(parts) or "anonymous scope"
+
+
+def lint_buffer_events(
+    events: Sequence[BufferEvent],
+    subject: str = "buffer-trace",
+    allow_live_at_end: bool = False,
+) -> List[LintFinding]:
+    """Run every R4xx rule on a recorded lifetime trace."""
+    findings: List[LintFinding] = []
+    live: Dict[int, BufferEvent] = {}
+    released: Dict[int, BufferEvent] = {}
+    for ev in events:
+        if ev.kind == "acquire":
+            prior = live.get(ev.buffer)
+            if prior is not None:
+                findings.append(_finding(
+                    "R402", "error", subject,
+                    f"{ev.describe()} acquired twice without a release "
+                    f"(first by {_owner(prior)}, again by {_owner(ev)}); "
+                    "two owners now write one allocation",
+                    hint="every checkout must be balanced by exactly one "
+                         "release before the next checkout of that buffer",
+                ))
+            live[ev.buffer] = ev
+            released.pop(ev.buffer, None)
+        elif ev.kind == "release":
+            if ev.buffer in live:
+                released[ev.buffer] = ev
+                del live[ev.buffer]
+            else:
+                again = ev.buffer in released
+                detail = (
+                    "released twice" if again
+                    else "released without ever being acquired"
+                )
+                findings.append(_finding(
+                    "R402", "error", subject,
+                    f"{ev.describe()} {detail}; the free list would hand "
+                    "the same storage to two future checkouts",
+                    hint="release each buffer exactly once, from the "
+                         "scope that checked it out",
+                ))
+        elif ev.kind in ("use", "bind"):
+            rel = released.get(ev.buffer)
+            if rel is not None:
+                what = (
+                    "scheduled as a kernel destination"
+                    if ev.kind == "bind" else "used"
+                )
+                findings.append(_finding(
+                    "R401", "error", subject,
+                    f"{ev.describe()} is {what} by {_owner(ev)} after "
+                    "being released to the arena; the next checkout of "
+                    "this shape aliases it",
+                    hint="keep the buffer checked out for as long as any "
+                         "kernel can read or write it",
+                ))
+            elif ev.kind == "bind":
+                owner = live.get(ev.buffer)
+                if owner is not None and (
+                    owner.label != ev.label or owner.rank != ev.rank
+                ):
+                    findings.append(_finding(
+                        "R404", "error", subject,
+                        f"{ev.describe()} is live pooled scratch of "
+                        f"{_owner(owner)} but is bound as a kernel "
+                        f"destination by {_owner(ev)}; the out=-scheduled "
+                        "writes alias storage the pool considers "
+                        "single-owner",
+                        hint="pass a dedicated array (or a buffer checked "
+                             "out by the calling scope) as the kernel "
+                             "destination",
+                    ))
+        else:
+            raise ValueError(f"unknown buffer event kind {ev.kind!r}")
+    if not allow_live_at_end:
+        for ev in live.values():
+            findings.append(_finding(
+                "R403", "warning", subject,
+                f"{ev.describe()} acquired by {_owner(ev)} is still "
+                "checked out when the trace ends; the arena never gets "
+                "it back",
+                hint="release in a finally block, or account for the "
+                     "buffer as a deliberate persistent allocation",
+            ))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Trace sources
+# ---------------------------------------------------------------------------
+
+
+@contextmanager
+def record_buffer_events(pool=None) -> Iterator[List[BufferEvent]]:
+    """Attach a lifetime recorder to a pool for the duration of a block.
+
+    Yields the (growing) event list; run :func:`lint_buffer_events` on it
+    afterwards. Recording composes with everything else the pool does and
+    costs one predicate per checkout when inactive.
+    """
+    if pool is None:
+        from repro.runtime.pool import get_pool
+
+        pool = get_pool()
+    from repro.runtime.ranks import current_rank
+
+    events: List[BufferEvent] = []
+    counter = itertools.count()
+
+    def recorder(kind: str, buf, label: Optional[str] = None) -> None:
+        key = None
+        shape = getattr(buf, "shape", None)
+        if shape is not None:
+            key = (tuple(shape), buf.dtype.str)
+        events.append(BufferEvent(
+            kind=kind,
+            buffer=id(buf),
+            key=key,
+            seq=next(counter),
+            label=label,
+            rank=current_rank(),
+        ))
+
+    previous = pool.set_recorder(recorder)
+    try:
+        yield events
+    finally:
+        pool.set_recorder(previous)
+
+
+def lint_compiled_plan(compiled) -> List[LintFinding]:
+    """Check a compiled SDFG's scratch-slot plan for lifetime violations.
+
+    Replays the codegen-time alloc/free log of the register-style slot
+    allocator. Slots live at the end are expected (kernel-local slots are
+    owned for the whole program body), so only R401/R402/R404 can fire.
+    """
+    events = [
+        BufferEvent(
+            kind="acquire" if kind == "alloc" else "release",
+            buffer=idx,
+            key=(
+                tuple(compiled._plan.specs[idx][0]),
+                str(compiled._plan.specs[idx][1]),
+            ),
+            seq=seq,
+            label=f"sdfg:{compiled.sdfg.name}",
+        )
+        for seq, (kind, idx) in enumerate(compiled.plan_events)
+    ]
+    return lint_buffer_events(
+        events,
+        subject=f"sdfg:{compiled.sdfg.name}",
+        allow_live_at_end=True,
+    )

@@ -35,8 +35,19 @@ from typing import Dict, Iterable, List, Optional, Tuple
 from repro.dsl.ir import Assign, FieldAccess
 from repro.sdfg.nodes import Callback, Kernel, Tasklet
 from repro.sdfg.subsets import Range
-from repro.lint.findings import LintFinding
+from repro.lint.findings import LintFinding, register_rules
 from repro.util.loc import SourceLocation
+
+#: Rule id -> rule name, the S2xx catalog.
+SDFG_RULES = {
+    "S201": "kernel-race",
+    "S202": "uncovered-read",
+    "S203": "out-of-bounds",
+    "S204": "transient-read-before-write",
+    "S205": "dead-transient",
+}
+
+register_rules(SDFG_RULES)
 
 SEQUENTIAL_ORDERS = ("FORWARD", "BACKWARD")
 

@@ -65,10 +65,12 @@ class InjectedCompileError(InjectedFaultError):
 class HaloTimeoutError(RecoverableFault):
     """An ``Irecv`` was never matched within the poll budget.
 
-    Names the communicating ranks, the tag, the exchange phase (set by
-    the halo layer, which owns the tag encoding) and the mailbox keys
-    still pending, so an unmatched receive is debuggable from the
-    message alone.
+    Names the communicating ranks, the tag, the exchange phase and the
+    owning exchange's tag-slot window (``fslot_base`` — both set by the
+    halo layer, which owns the tag encoding) and the mailbox keys still
+    pending, so an unmatched receive is debuggable from the message
+    alone and cross-referenceable with the static protocol checker's
+    C3xx findings, which identify exchanges by the same slot base.
     """
 
     def __init__(
@@ -79,6 +81,7 @@ class HaloTimeoutError(RecoverableFault):
         polls: int,
         pending: Sequence[Tuple[int, int, int]],
         phase: Optional[int] = None,
+        fslot_base: Optional[int] = None,
     ):
         self.source = source
         self.dest = dest
@@ -86,10 +89,12 @@ class HaloTimeoutError(RecoverableFault):
         self.polls = polls
         self.pending = list(pending)
         self.phase = phase
+        self.fslot_base = fslot_base
         super().__init__("")
 
     def __str__(self) -> str:
         phase = "?" if self.phase is None else self.phase
+        fslot = "?" if self.fslot_base is None else self.fslot_base
         pending = (
             ", ".join(
                 f"(src={s}, dst={d}, tag={t})" for s, d, t in self.pending
@@ -98,8 +103,9 @@ class HaloTimeoutError(RecoverableFault):
         )
         return (
             f"Irecv from rank {self.source} to rank {self.dest} "
-            f"(tag {self.tag}, phase {phase}) not delivered after "
-            f"{self.polls} polls; pending mailbox: {pending}"
+            f"(tag {self.tag}, phase {phase}, fslot_base {fslot}) not "
+            f"delivered after {self.polls} polls; pending mailbox: "
+            f"{pending}"
         )
 
 

@@ -47,6 +47,10 @@ class BufferPool:
         self._free: Dict[_Key, List[np.ndarray]] = {}
         self._idle_ids: set = set()
         self._lock = threading.Lock()
+        #: optional lifetime recorder ``fn(kind, buf, label=None)`` used
+        #: by ``repro.lint.runtime_rules.record_buffer_events`` — one
+        #: ``is not None`` predicate per checkout when inactive
+        self._recorder = None
         # accounting
         self.checkouts = 0
         self.reuse_hits = 0
@@ -58,6 +62,19 @@ class BufferPool:
         self.high_water_bytes = 0
 
     # ------------------------------------------------------------------
+    def set_recorder(self, recorder):
+        """Install (or with ``None`` remove) a lifetime-event recorder;
+        returns the previous one so recorders nest."""
+        previous = self._recorder
+        self._recorder = recorder
+        return previous
+
+    def note(self, kind: str, buf: np.ndarray, label=None) -> None:
+        """Report an external lifetime event (``use``/``bind``) on a
+        buffer to the active recorder, if any. No-op otherwise."""
+        if self._recorder is not None:
+            self._recorder(kind, buf, label)
+
     @staticmethod
     def _key(shape, dtype) -> _Key:
         return (tuple(shape), np.dtype(dtype).str)
@@ -78,6 +95,8 @@ class BufferPool:
                 self.live_bytes += buf.nbytes
                 if _chaos._PLAN is not None:
                     _chaos.maybe_poison(buf)
+                if self._recorder is not None:
+                    self._recorder("acquire", buf, None)
                 return buf
         buf = np.empty(shape, dtype=dtype)
         with self._lock:
@@ -89,6 +108,8 @@ class BufferPool:
             )
         if _chaos._PLAN is not None:
             _chaos.maybe_poison(buf)
+        if self._recorder is not None:
+            self._recorder("acquire", buf, None)
         return buf
 
     def release(self, buf: np.ndarray) -> None:
@@ -108,6 +129,8 @@ class BufferPool:
             self.high_water_bytes = max(
                 self.high_water_bytes, self.live_bytes + self.idle_bytes
             )
+        if self._recorder is not None:
+            self._recorder("release", buf, None)
 
     def checkout_many(
         self, specs: Sequence[Tuple[Tuple[int, ...], np.dtype]]

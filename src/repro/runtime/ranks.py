@@ -39,6 +39,7 @@ from repro.obs import tracer as _obs
 
 __all__ = [
     "RankExecutor",
+    "current_rank",
     "get_executor",
     "configure",
     "io_wait",
@@ -62,6 +63,17 @@ _METRICS: Dict[str, float] = {
     "hidden_seconds": 0.0,
     "exposed_seconds": 0.0,
 }
+
+
+def current_rank() -> Optional[int]:
+    """The rank whose SPMD body the calling thread is executing, or
+    ``None`` outside a parallel rank task (sequential path, main thread).
+
+    Lets per-buffer and per-message diagnostics (the ``repro.lint``
+    R4xx lifetime traces) name the owning rank without threading it
+    through every call signature.
+    """
+    return getattr(_tls, "rank", None)
 
 
 def overlap_enabled() -> bool:
@@ -195,6 +207,7 @@ class RankExecutor:
 
     def _run_rank(self, fn, rank, tracer, parent):
         _tls.slot = self._sem
+        _tls.rank = rank
         self._sem.acquire()
         try:
             if parent is not None:
@@ -205,6 +218,7 @@ class RankExecutor:
         finally:
             self._sem.release()
             _tls.slot = None
+            _tls.rank = None
 
     def shutdown(self) -> None:
         """Join the worker threads (idempotent)."""

@@ -146,19 +146,26 @@ class _BufferPlan:
     def __init__(self):
         self.specs: List[Tuple[Tuple[int, ...], np.dtype]] = []
         self._free: Dict[Tuple[Tuple[int, ...], str], List[int]] = {}
+        #: codegen-time alloc/free log, replayed by the R4xx lifetime
+        #: checker (``repro.lint.runtime_rules.lint_compiled_plan``)
+        self.events: List[Tuple[str, int]] = []
 
     def alloc(self, shape, dtype=_F64) -> int:
         dtype = np.dtype(dtype)
         key = (tuple(shape), dtype.str)
         free = self._free.get(key)
         if free:
-            return free.pop()
+            idx = free.pop()
+            self.events.append(("alloc", idx))
+            return idx
         self.specs.append((tuple(shape), dtype))
+        self.events.append(("alloc", len(self.specs) - 1))
         return len(self.specs) - 1
 
     def free(self, idx: int) -> None:
         shape, dtype = self.specs[idx]
         self._free.setdefault((shape, dtype.str), []).append(idx)
+        self.events.append(("free", idx))
 
 
 def _broadcast(*shapes) -> Tuple[int, ...]:
@@ -820,6 +827,12 @@ class CompiledSDFG:
         )
 
     @property
+    def plan_events(self) -> Tuple[Tuple[str, int], ...]:
+        """The scratch planner's alloc/free log, for the R4xx lifetime
+        checker."""
+        return tuple(self._plan.events)
+
+    @property
     def runtime_bytes(self) -> int:
         """Bytes of pooled working memory one call of this program uses
         (scratch slots + kernel locals + transients)."""
@@ -953,6 +966,13 @@ class CompiledSDFG:
         if missing:
             raise ValueError(f"missing arrays for containers: {missing}")
         pool = get_pool()
+        if pool._recorder is not None:
+            # lifetime recording active: declare every caller-provided
+            # container as an out=-scheduled destination so the R404
+            # checker can catch live pooled scratch aliasing a kernel
+            # output owned by someone else
+            for name, arr in arrays.items():
+                pool.note("bind", arr, label=f"sdfg:{self.sdfg.name}:{name}")
         merged = dict(arrays)
         transient_bufs: List[np.ndarray] = []
         for name, shape, dtype in self._transient_specs:

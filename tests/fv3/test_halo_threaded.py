@@ -209,3 +209,42 @@ def test_executor_env_configuration(monkeypatch):
     assert ex.workers == 6 and ex.parallel
     monkeypatch.setenv("REPRO_RANKS", "1")
     assert not RankExecutor().parallel
+
+
+def test_timeout_names_the_owning_tag_slot(executor):
+    """A timeout inside a split exchange on offset tag slots carries the
+    exchange's fslot_base, so the runtime error cross-references the
+    static C3xx protocol findings (which identify exchanges by the same
+    slot base)."""
+    part, updater, fields = _setup(seed=13)
+    previous = chaos.set_plan(ChaosPlan.from_spec("halo.drop@1"))
+    try:
+        with pytest.raises(HaloTimeoutError) as excinfo:
+            executor.run(
+                lambda r: updater.finish_scalars(
+                    updater.start_scalars((fields,), r, fslot_base=2)
+                ),
+                part.total_ranks,
+            )
+    finally:
+        chaos.set_plan(previous)
+        resilience.reset()
+    err = excinfo.value
+    assert err.fslot_base == 2
+    assert "fslot_base 2" in str(err)
+    updater.comm.drain()
+    assert updater.comm.pending() == []
+
+
+def test_atomic_path_timeout_reports_slot_zero():
+    part, updater, fields = _setup(seed=17)
+    previous = chaos.set_plan(ChaosPlan.from_spec("halo.drop@1"))
+    try:
+        with pytest.raises(HaloTimeoutError) as excinfo:
+            updater.update_scalar(fields)
+    finally:
+        chaos.set_plan(previous)
+        resilience.reset()
+    assert excinfo.value.fslot_base == 0
+    assert "fslot_base 0" in str(excinfo.value)
+    updater.comm.drain()

@@ -82,3 +82,105 @@ def test_cli_show_suppressed_flag(capsys):
     main([str(FIXTURE), "--show-suppressed"])
     out = capsys.readouterr().out
     assert "(suppressed)" in out
+
+
+# ---------------------------------------------------------------------------
+# --comm, --scenario, --json
+# ---------------------------------------------------------------------------
+
+
+def test_cli_requires_some_target(capsys):
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_cli_comm_lints_module_plans(capsys):
+    # the acoustic overlap plan is clean; the sequential plan's two
+    # deliberate exposed windows are suppressed in-source
+    assert main(["--comm", "repro.fv3.acoustics"]) == 0
+    out = capsys.readouterr().out
+    assert "(2 suppressed)" in out
+
+
+def test_cli_comm_shows_suppressed_windows(capsys):
+    main(["--comm", "--show-suppressed", "repro.fv3.acoustics"])
+    out = capsys.readouterr().out
+    assert "C305" in out
+    assert "acoustics.substep.sequential" in out
+
+
+def test_cli_without_comm_skips_plans(capsys):
+    assert main(["repro.fv3.acoustics"]) == 0
+    out = capsys.readouterr().out
+    assert "(0 suppressed)" in out
+
+
+def test_cli_comm_fails_on_buggy_plan(tmp_path, capsys):
+    mod = tmp_path / "buggy_plan.py"
+    mod.write_text(
+        "from repro.lint.plan_ir import (CommPlan, ExchangeDecl, StartOp,\n"
+        "                                FinishOp, ComputeOp, ring_edges)\n"
+        "a = ExchangeDecl('a', ('u',), fslot_base=0)\n"
+        "b = ExchangeDecl('b', ('v',), fslot_base=0)\n"
+        "compute = ComputeOp('interior')\n"
+        "plan = CommPlan.spmd('buggy', 2, (a, b),\n"
+        "                     [StartOp('a'), compute, StartOp('b'),\n"
+        "                      compute, FinishOp('a'), FinishOp('b')],\n"
+        "                     ring_edges(2))\n"
+    )
+    assert main(["--comm", str(mod)]) == 1
+    out = capsys.readouterr().out
+    assert "C302" in out
+
+
+def test_cli_json_artifact(tmp_path, capsys):
+    import json
+
+    artifact = tmp_path / "findings.json"
+    assert main(
+        ["--comm", "repro.fv3.acoustics", "--json", str(artifact)]
+    ) == 0
+    data = json.loads(artifact.read_text())
+    assert data["fail_on"] == "error"
+    assert data["failing"] == 0
+    assert data["suppressed"] == 2
+    assert {f["rule"] for f in data["findings"]} == {"C305"}
+    assert all(f["suppressed"] for f in data["findings"])
+    assert set(data["counts"]) == {"error", "warning", "info"}
+
+
+def test_cli_scenario_discovers_registry_stencils(capsys):
+    """Satellite: stencils reachable only through the scenario registry
+    (built by repro.run.build_core, never imported by name here) are
+    linted; the acoustic comm plans ride along via --comm."""
+    assert main(
+        ["--comm", "--scenario", "baroclinic_wave"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "(2 suppressed)" in out  # found the acoustic plans
+
+
+def test_cli_scenario_unknown_name_exits_2(capsys):
+    assert main(["--scenario", "no_such_experiment"]) == 2
+    assert "cannot lint scenario" in capsys.readouterr().err
+
+
+def test_scenario_walk_reaches_stencil_modules():
+    from repro.lint.cli import _reachable_repro_modules
+    from repro.run.driver import build_core
+    from repro.scenarios import get_scenario
+
+    scen = get_scenario("baroclinic_wave")
+    core = build_core(
+        "baroclinic_wave",
+        scen.default_config(npx=12, npz=4),
+        executor="sequential",
+    )
+    try:
+        mods = set(_reachable_repro_modules(core))
+    finally:
+        core.finalize()
+        core.executor.shutdown()
+    assert "repro.fv3.stencils.c_sw" in mods
+    assert "repro.fv3.stencils.d_sw" in mods
+    assert "repro.fv3.acoustics" in mods

@@ -125,3 +125,96 @@ def test_unknown_location_never_suppressed():
         rule="S203", name="r", severity="error", subject="s", message="m"
     )
     assert not SuppressionIndex().apply([f])[0].suppressed
+
+
+# ---------------------------------------------------------------------------
+# Rule registry, family wildcards, unknown-rule warnings
+# ---------------------------------------------------------------------------
+
+
+def test_registry_knows_every_rule_family():
+    from repro.lint import (
+        COMM_RULES,
+        DSL_RULES,
+        KNOWN_RULES,
+        RUNTIME_RULES,
+        SDFG_RULES,
+    )
+
+    for catalog in (DSL_RULES, SDFG_RULES, COMM_RULES, RUNTIME_RULES):
+        for rule, name in catalog.items():
+            assert KNOWN_RULES[rule] == name
+    assert {"D101", "S201", "C301", "C302", "C303", "R401"} <= set(
+        KNOWN_RULES
+    )
+
+
+def _finding_at(path, line, rule):
+    return LintFinding(
+        rule=rule,
+        name="r",
+        severity="error",
+        subject="s",
+        message="m",
+        location=SourceLocation(str(path), line),
+    )
+
+
+def test_family_wildcard_suppresses_whole_family(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("a = 1  # lint: ignore[C3*]\n")
+    c301 = _finding_at(path, 1, "C301")
+    c305 = _finding_at(path, 1, "C305")
+    r401 = _finding_at(path, 1, "R401")
+    out = SuppressionIndex().apply([c301, c305, r401])
+    assert [f.suppressed for f in out] == [True, True, False]
+
+
+def test_comm_and_runtime_ids_suppress_exactly(tmp_path):
+    path = tmp_path / "mod.py"
+    path.write_text("a = 1  # lint: ignore[C302, R404]\n")
+    out = SuppressionIndex().apply(
+        [
+            _finding_at(path, 1, "C302"),
+            _finding_at(path, 1, "C303"),
+            _finding_at(path, 1, "R404"),
+        ]
+    )
+    assert [f.suppressed for f in out] == [True, False, True]
+
+
+def test_unknown_rule_id_in_suppression_warns(tmp_path):
+    from repro.lint import UnknownRuleWarning
+
+    path = tmp_path / "mod.py"
+    path.write_text("a = 1  # lint: ignore[C999]\n")
+    with pytest.warns(UnknownRuleWarning, match=r"C999"):
+        SuppressionIndex().apply([_finding_at(path, 1, "C301")])
+
+
+def test_unknown_family_prefix_warns_but_known_one_does_not(tmp_path):
+    import warnings as _warnings
+
+    from repro.lint import UnknownRuleWarning
+
+    path = tmp_path / "mod.py"
+    path.write_text("a = 1  # lint: ignore[C3*]\nb = 2  # lint: ignore[Z9*]\n")
+    with pytest.warns(UnknownRuleWarning, match=r"Z9\*"):
+        SuppressionIndex().apply([_finding_at(path, 1, "C301")])
+    path2 = tmp_path / "clean.py"
+    path2.write_text("a = 1  # lint: ignore[C3*, *]\n")
+    with _warnings.catch_warnings():
+        _warnings.simplefilter("error", UnknownRuleWarning)
+        SuppressionIndex().apply([_finding_at(path2, 1, "C301")])
+
+
+def test_register_rules_extends_registry():
+    import repro.lint.findings as findings_mod
+    from repro.lint import register_rules
+
+    register_rules({"X901": "made-up"})
+    try:
+        assert findings_mod._pattern_is_known("X901")
+        assert findings_mod._pattern_is_known("X9*")
+    finally:
+        findings_mod.KNOWN_RULES.pop("X901", None)

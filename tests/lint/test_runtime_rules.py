@@ -1,0 +1,243 @@
+"""R4xx buffer-lifetime rules: synthetic traces, live pool recording,
+and compiled-plan replay."""
+
+from types import SimpleNamespace
+
+import numpy as np
+import pytest
+
+from repro.lint import (
+    BufferEvent,
+    lint_buffer_events,
+    lint_compiled_plan,
+    record_buffer_events,
+)
+from repro.runtime.pool import BufferPool
+
+from tests.lint.graph_defects import SHAPE, chained_sdfg
+
+
+def _rules(findings):
+    return sorted(f.rule for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# Synthetic traces
+# ---------------------------------------------------------------------------
+
+
+def test_balanced_trace_is_clean():
+    events = [
+        BufferEvent("acquire", 1),
+        BufferEvent("use", 1, label="kernel"),
+        BufferEvent("release", 1),
+    ]
+    assert lint_buffer_events(events) == []
+
+
+def test_use_after_release_is_r401():
+    events = [
+        BufferEvent("acquire", 1),
+        BufferEvent("release", 1),
+        BufferEvent("use", 1, label="stencil:x"),
+    ]
+    (f,) = lint_buffer_events(events)
+    assert (f.rule, f.severity) == ("R401", "error")
+    assert "stencil:x" in f.message
+
+
+def test_bind_after_release_is_r401():
+    events = [
+        BufferEvent("acquire", 1),
+        BufferEvent("release", 1),
+        BufferEvent("bind", 1, label="sdfg:prog:out"),
+    ]
+    (f,) = lint_buffer_events(events)
+    assert f.rule == "R401"
+    assert "kernel destination" in f.message
+
+
+def test_double_acquire_is_r402():
+    events = [
+        BufferEvent("acquire", 1, label="a"),
+        BufferEvent("acquire", 1, label="b"),
+        BufferEvent("release", 1),
+    ]
+    (f,) = lint_buffer_events(events)
+    assert (f.rule, f.severity) == ("R402", "error")
+    assert "acquired twice" in f.message
+
+
+def test_double_release_is_r402():
+    events = [
+        BufferEvent("acquire", 1),
+        BufferEvent("release", 1),
+        BufferEvent("release", 1),
+    ]
+    (f,) = lint_buffer_events(events)
+    assert f.rule == "R402"
+    assert "released twice" in f.message
+
+
+def test_release_without_acquire_is_r402():
+    (f,) = lint_buffer_events([BufferEvent("release", 7)])
+    assert f.rule == "R402"
+    assert "without ever being acquired" in f.message
+
+
+def test_leak_is_r403_warning_unless_allowed():
+    events = [BufferEvent("acquire", 1, label="scope")]
+    (f,) = lint_buffer_events(events)
+    assert (f.rule, f.severity) == ("R403", "warning")
+    assert lint_buffer_events(events, allow_live_at_end=True) == []
+
+
+def test_foreign_bind_of_live_buffer_is_r404():
+    events = [
+        BufferEvent("acquire", 1, label="owner", rank=0),
+        BufferEvent("bind", 1, label="sdfg:prog:out", rank=0),
+        BufferEvent("release", 1),
+    ]
+    (f,) = lint_buffer_events(events)
+    assert (f.rule, f.severity) == ("R404", "error")
+    assert "sdfg:prog:out" in f.message
+
+
+def test_same_owner_bind_is_clean():
+    events = [
+        BufferEvent("acquire", 1, label="x", rank=2),
+        BufferEvent("bind", 1, label="x", rank=2),
+        BufferEvent("release", 1),
+    ]
+    assert lint_buffer_events(events) == []
+
+
+def test_unknown_event_kind_rejected():
+    with pytest.raises(ValueError, match="unknown buffer event"):
+        lint_buffer_events([BufferEvent("frob", 1)])
+
+
+# ---------------------------------------------------------------------------
+# Live pool recording
+# ---------------------------------------------------------------------------
+
+
+def test_recorder_sees_checkout_release_pairs():
+    pool = BufferPool()
+    with record_buffer_events(pool) as events:
+        a = pool.checkout((4, 4), np.float64)
+        pool.release(a)
+    assert [e.kind for e in events] == ["acquire", "release"]
+    assert events[0].buffer == id(a)
+    assert events[0].key == ((4, 4), "<f8")
+    assert lint_buffer_events(events) == []
+
+
+def test_recorder_catches_leak_and_use_after_release():
+    pool = BufferPool()
+    with record_buffer_events(pool) as events:
+        a = pool.checkout((4, 4), np.float64)
+        b = pool.checkout((2, 2), np.float64)
+        pool.release(a)
+        pool.note("use", a, label="late-reader")
+        del b  # never released
+    assert _rules(lint_buffer_events(events)) == ["R401", "R403"]
+
+
+def test_recorder_detaches_after_block():
+    pool = BufferPool()
+    with record_buffer_events(pool) as events:
+        pool.release(pool.checkout((2, 2), np.float64))
+    n = len(events)
+    pool.release(pool.checkout((2, 2), np.float64))
+    assert len(events) == n
+    assert pool._recorder is None
+
+
+def test_note_is_noop_without_recorder():
+    pool = BufferPool()
+    buf = pool.checkout((2, 2), np.float64)
+    pool.note("use", buf)  # must not raise or record anything
+    pool.release(buf)
+
+
+# ---------------------------------------------------------------------------
+# Compiled plans
+# ---------------------------------------------------------------------------
+
+
+def _fake_compiled(events, specs):
+    plan = SimpleNamespace(events=list(events), specs=list(specs))
+    return SimpleNamespace(
+        sdfg=SimpleNamespace(name="prog"),
+        _plan=plan,
+        plan_events=tuple(plan.events),
+    )
+
+
+def test_compiled_plan_replay_clean():
+    compiled = _fake_compiled(
+        [("alloc", 0), ("free", 0), ("alloc", 0), ("free", 0)],
+        [((4, 4), np.dtype("f8"))],
+    )
+    assert lint_compiled_plan(compiled) == []
+
+
+def test_compiled_plan_double_free_is_r402():
+    compiled = _fake_compiled(
+        [("alloc", 0), ("free", 0), ("free", 0)],
+        [((4, 4), np.dtype("f8"))],
+    )
+    (f,) = lint_compiled_plan(compiled)
+    assert f.rule == "R402"
+    assert f.subject == "sdfg:prog"
+    assert "slot 0" in f.message
+
+
+def test_compiled_plan_slots_live_at_end_are_expected():
+    # kernel-local slots are owned for the whole program body, so a
+    # trailing live slot is by design, not a leak
+    compiled = _fake_compiled(
+        [("alloc", 0)], [((4, 4), np.dtype("f8"))]
+    )
+    assert lint_compiled_plan(compiled) == []
+
+
+def test_real_compiled_sdfg_plan_is_clean():
+    from repro.sdfg.codegen import compile_sdfg
+
+    compiled = compile_sdfg(chained_sdfg())
+    assert lint_compiled_plan(compiled) == []
+
+
+def test_live_pooled_scratch_as_sdfg_destination_is_r404():
+    """The end-to-end aliasing scenario: a caller checks out pooled
+    scratch and passes it to a compiled program as an output — the
+    program's out=-scheduled writes now alias pool-owned storage."""
+    from repro.runtime.pool import get_pool
+    from repro.sdfg.codegen import compile_sdfg
+
+    compiled = compile_sdfg(chained_sdfg())
+    pool = get_pool()
+    a = np.ones(SHAPE)
+    with record_buffer_events(pool) as events:
+        scratch = pool.checkout(SHAPE, np.float64)
+        compiled({"a": a, "out": scratch})
+        pool.release(scratch)
+    findings = [
+        f for f in lint_buffer_events(events) if f.rule == "R404"
+    ]
+    assert len(findings) == 1
+    assert "sdfg:prog:out" in findings[0].message
+
+
+def test_dedicated_output_array_has_no_r404():
+    from repro.runtime.pool import get_pool
+    from repro.sdfg.codegen import compile_sdfg
+
+    compiled = compile_sdfg(chained_sdfg())
+    pool = get_pool()
+    a, out = np.ones(SHAPE), np.zeros(SHAPE)
+    with record_buffer_events(pool) as events:
+        compiled({"a": a, "out": out})
+    assert lint_buffer_events(events) == []
