@@ -41,8 +41,11 @@ def _build(n, nk=NK):
     fx = np.zeros(shape)
     fy = np.zeros(shape)
     prog = module.__call__
-    prog.build(q, cr, cr.copy(), cr.copy(), cr.copy(), fx, fy)
+    # build with the exact argument tuple later passed to prog(*args):
+    # the build cache keys on array identity, so building with throwaway
+    # copies would force a silent rebuild (and recompile) on first call
     args = (q, cr, cr.copy(), cr.copy(), cr.copy(), fx, fy)
+    prog.build(*args)
     return module, prog, args
 
 

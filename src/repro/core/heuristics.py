@@ -79,3 +79,29 @@ def apply_schedule_heuristics(
             sched.device = kernel.schedule.device
             kernel.schedule = sched
     return chosen
+
+
+def select_cpu_tiles(
+    kernel: Kernel, sdfg, machine: MachineModel
+) -> Tuple[int, Optional[int]]:
+    """(k-block size, i-tile) for the compiled CPU backend's loop nests.
+
+    Starts from the machine model's ``CPU_K_BLOCK`` (the block depth the
+    perf model assumes keeps a kernel's working set cache-resident) and
+    halves it while the per-block working set still exceeds the machine's
+    last-level cache. The i-tile is taken from the kernel's tuned
+    ``schedule.tile_sizes`` when one was chosen by the transfer-tuning
+    sweep; ``None`` means "no tiling" (a plain i loop).
+    """
+    from repro.core.perfmodel import CPU_K_BLOCK
+
+    nk = max(kernel.domain[2], 1)
+    kb = max(1, min(CPU_K_BLOCK, nk))
+    per_level = max(kernel.moved_bytes(sdfg) // nk, 1)
+    cache = getattr(machine, "cache_bytes", 0) or 0
+    if cache:
+        while kb > 1 and per_level * kb > cache:
+            kb //= 2
+    tile = kernel.schedule.tile_sizes
+    i_tile = tile[0] if tile and tile[0] and tile[0] > 0 else None
+    return kb, i_tile

@@ -21,6 +21,10 @@ from repro.dsl.backend_numpy import GridBounds
 class DataflowStencilExecutor:
     """Executes a stencil through the SDFG pipeline."""
 
+    #: which :mod:`repro.runtime.compile_cache` emission backend compiles
+    #: the lowered SDFG; the ``compiled`` backend subclasses and overrides
+    compile_backend = "numpy"
+
     def __init__(self, stencil_object, optimize: bool = False):
         from repro.obs import tracer as _obs
 
@@ -84,15 +88,19 @@ class DataflowStencilExecutor:
                     domain,
                     bounds,
                 )
-                from repro.runtime.compile_cache import get_or_compile
-
-                program = get_or_compile(sdfg)
+                program = self._compile(sdfg)
             self._cache[key] = program
         if self._tracer.enabled:
             with self._tracer.span("exec.dataflow"):
                 program(arrays=fields, scalars=scalars)
         else:
             program(arrays=fields, scalars=scalars)
+
+    def _compile(self, sdfg):
+        """Compile the lowered SDFG through the shared program cache."""
+        from repro.runtime.compile_cache import get_or_compile
+
+        return get_or_compile(sdfg, backend=self.compile_backend)
 
 
 # self-registration: "dataflow" resolves through the repro.dsl.backends

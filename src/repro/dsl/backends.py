@@ -41,6 +41,7 @@ _REGISTRY: Dict[str, Callable] = {}
 _LAZY_BUILTINS = {
     "numpy": "repro.dsl.backend_numpy",
     "dataflow": "repro.dsl.backend_dataflow",
+    "compiled": "repro.dsl.backend_compiled",
 }
 
 
@@ -120,7 +121,21 @@ def create_executor(name: str, stencil_object):
 # ---------------------------------------------------------------------------
 # default backend
 # ---------------------------------------------------------------------------
-_default_backend = "numpy"
+
+
+def _initial_default() -> str:
+    """Process default, overridable via ``REPRO_BACKEND=<name>``.
+
+    Validation is deferred to first use: an unknown name surfaces as
+    :class:`UnknownBackendError` from lookup, with suggestions, instead of
+    failing at import time.
+    """
+    import os
+
+    return os.environ.get("REPRO_BACKEND", "").strip() or "numpy"
+
+
+_default_backend = _initial_default()
 
 
 def current_default_backend() -> str:

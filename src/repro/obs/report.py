@@ -137,12 +137,27 @@ def _runtime_lines() -> List[str]:
             f"high water {pool['high_water_bytes'] / 1e6:.1f} MB"
         )
     if cache["hits"] or cache["misses"]:
+        by = cache.get("by_backend") or {}
+        per_backend = ""
+        if len(by) > 1 or (by and "numpy" not in by):
+            per_backend = " [" + ", ".join(
+                f"{b}: {c['hits']}h/{c['misses']}m"
+                for b, c in sorted(by.items())
+            ) + "]"
         lines.append(
             f"compile cache: {cache['hits']} hits / "
             f"{cache['misses']} misses "
             f"(rate {100 * cache['hit_rate']:.0f}%), "
             f"{cache['entries']} programs cached, "
             f"{cache['bytes_saved'] / 1e6:.1f} MB working-set reuse"
+            f"{per_backend}"
+        )
+    jt = rt.get("jit", {})
+    if jt.get("compiles") or jt.get("disk_hits"):
+        lines.append(
+            f"jit: {jt['engine']} engine, {jt['compiles']} kernel-plan "
+            f"compiles ({jt['compile_seconds']:.3f}s warmup), "
+            f"{jt['disk_hits']} disk-cache hits"
         )
     rk = rt.get("ranks", {})
     if rk.get("sections"):

@@ -582,6 +582,11 @@ class OrchestratedProgram:
         self._build_key = None
         #: cache of previous builds: key → (builder, compiled)
         self._builds: Dict[tuple, tuple] = {}
+        #: sticky codegen flags: once instrumented (or pinned to a
+        #: backend), rebuilds triggered by new argument identities
+        #: recompile the same way instead of silently dropping them
+        self._instrument = False
+        self._backend: Optional[str] = None
 
     # -- descriptor protocol: @orchestrate on methods ---------------------
     def __get__(self, obj, objtype=None):
@@ -610,14 +615,54 @@ class OrchestratedProgram:
         self._build_key = self._key(args, kwargs)
         return builder.sdfg
 
-    def compile(self, instrument: bool = False):
+    def compile(self, instrument: bool = False,
+                backend: Optional[str] = None):
+        """Compile the built SDFG (``backend``: ``"numpy"``/``"compiled"``).
+
+        Both flags are sticky: a rebuild forced by new argument identities
+        recompiles with the same instrumentation and backend, so kernel
+        timing attribution survives across specializations. The backend
+        resolves explicit argument > previous sticky choice >
+        ``REPRO_BACKEND=compiled`` > NumPy emission; a compiled request
+        without a usable JIT engine degrades (warn once) to NumPy.
+        """
+        import os
+
         from repro.runtime.compile_cache import get_or_compile
 
         if self._builder is None:
             raise OrchestrationError("build() the program first")
-        self._compiled = get_or_compile(
-            self._builder.sdfg, instrument=instrument
-        )
+        self._instrument = bool(self._instrument or instrument)
+        resolved = backend or self._backend
+        if resolved is None:
+            env = os.environ.get("REPRO_BACKEND", "").strip()
+            resolved = "compiled" if env == "compiled" else "numpy"
+        if resolved == "compiled":
+            from repro.dsl.backend_compiled import _warn_once
+            from repro.runtime import jit
+
+            if not jit.available():
+                _warn_once(
+                    "no JIT engine: numba not installed and no C compiler"
+                )
+                resolved = "numpy"
+        from repro.runtime.jit import JitUnavailableError
+
+        try:
+            self._compiled = get_or_compile(
+                self._builder.sdfg, instrument=self._instrument,
+                backend=resolved,
+            )
+        except JitUnavailableError as exc:
+            from repro.dsl.backend_compiled import _warn_once
+
+            _warn_once(str(exc))
+            resolved = "numpy"
+            self._compiled = get_or_compile(
+                self._builder.sdfg, instrument=self._instrument,
+                backend=resolved,
+            )
+        self._backend = resolved
         return self._compiled
 
     def _key(self, args, kwargs):

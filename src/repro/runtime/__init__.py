@@ -15,6 +15,9 @@ two allocation sources the generated NumPy programs had:
 - :mod:`repro.runtime.ranks` — the SPMD rank executor (PR 5): one thread
   per simulated rank with a compute-slot cap, plus the halo overlap
   accounting behind the obs footer's efficiency line.
+- :mod:`repro.runtime.jit` — JIT engine probing + compilation for the
+  ``compiled`` backend (PR 8), with compile-count/wall-time counters so
+  reports attribute warmup cost separately from steady-state kernels.
 
 :func:`runtime_summary` aggregates the counter sets for the obs report.
 """
@@ -25,20 +28,22 @@ from typing import Dict
 
 from repro.runtime.pool import BufferPool, get_pool
 from repro.runtime import compile_cache
+from repro.runtime import jit
 from repro.runtime import ranks
 from repro.runtime.ranks import RankExecutor
 
 __all__ = [
-    "BufferPool", "get_pool", "compile_cache", "ranks", "RankExecutor",
-    "runtime_summary",
+    "BufferPool", "get_pool", "compile_cache", "jit", "ranks",
+    "RankExecutor", "runtime_summary",
 ]
 
 
 def runtime_summary() -> Dict[str, Dict[str, object]]:
-    """Pool, compile-cache and rank-executor counters for reports
+    """Pool, compile-cache, JIT and rank-executor counters for reports
     (zero-filled dicts when the subsystems have not been exercised)."""
     return {
         "pool": get_pool().stats(),
         "compile_cache": compile_cache.stats(),
+        "jit": jit.stats(),
         "ranks": ranks.summary(),
     }

@@ -31,9 +31,15 @@ __all__ = ["get_or_compile", "cache_key", "stats", "reset"]
 _SEP = "\x1f"
 
 _CACHE: "OrderedDict[str, object]" = OrderedDict()
-_HITS = 0
-_MISSES = 0
+#: per-backend counters, so cross-backend A/B runs report hits/misses per
+#: backend instead of a single merged number
+_HITS: Dict[str, int] = {}
+_MISSES: Dict[str, int] = {}
 _BYTES_SAVED = 0
+
+#: backend name → compile entry point (lazy imports; "numpy" is the
+#: parent ufunc emission, "compiled" the JIT loop-nest emission)
+_BACKENDS = ("numpy", "compiled")
 
 
 def _enabled() -> bool:
@@ -89,8 +95,13 @@ def _node_repr(node) -> str:
     return _SEP.join(["node", type(node).__name__, node.label])
 
 
-def cache_key(sdfg, instrument: bool = False) -> str:
-    """Canonical content hash of an expanded SDFG (+ codegen flags)."""
+def cache_key(sdfg, instrument: bool = False, backend: str = "numpy") -> str:
+    """Canonical content hash of an expanded SDFG (+ codegen flags).
+
+    The hash is keyed on the emission backend (and, for the compiled
+    backend, on everything that changes the generated loop nests: JIT
+    engine, thread count, k-block override), so NumPy and compiled plans
+    for the same SDFG never collide in the cache."""
     import numpy as np
 
     from repro.sdfg.codegen import scheduling_enabled
@@ -102,6 +113,14 @@ def cache_key(sdfg, instrument: bool = False) -> str:
         h.update(b"\x1e")
 
     feed(f"instrument={instrument}")
+    feed(f"backend={backend}")
+    if backend == "compiled":
+        from repro.runtime import jit
+
+        feed(
+            f"jit={jit.engine_name()};threads={jit.default_threads()};"
+            f"kblock={os.environ.get('REPRO_KBLOCK', '')}"
+        )
     feed(f"out_scheduling={scheduling_enabled()}")
     for name, desc in sorted(sdfg.arrays.items()):
         feed(
@@ -123,16 +142,32 @@ def cache_key(sdfg, instrument: bool = False) -> str:
 # ---------------------------------------------------------------------------
 
 
-def get_or_compile(sdfg, instrument: bool = False):
+def _compile_fn(backend: str):
+    if backend == "numpy":
+        from repro.sdfg.codegen import compile_sdfg
+
+        return compile_sdfg
+    if backend == "compiled":
+        from repro.sdfg.codegen_compiled import compile_sdfg_compiled
+
+        return compile_sdfg_compiled
+    raise ValueError(
+        f"unknown compile backend {backend!r}: expected one of {_BACKENDS}"
+    )
+
+
+def get_or_compile(sdfg, instrument: bool = False, backend: str = "numpy"):
     """Compile an SDFG, reusing a cached program with identical content.
 
     Returns the same :class:`~repro.sdfg.codegen.CompiledSDFG` object for
     content-equal SDFGs: per-kernel instrumentation counters accumulate
-    across users (readers take before/after deltas).
+    across users (readers take before/after deltas). ``backend="compiled"``
+    compiles through :mod:`repro.sdfg.codegen_compiled` instead; entries
+    are keyed per backend.
     """
-    global _HITS, _MISSES, _BYTES_SAVED
+    global _BYTES_SAVED
 
-    from repro.sdfg.codegen import compile_sdfg
+    compile_sdfg = _compile_fn(backend)
 
     if _chaos._PLAN is not None:
         fault = _chaos.consult(
@@ -152,15 +187,16 @@ def get_or_compile(sdfg, instrument: bool = False):
         sdfg.expand_library_nodes()
     tracer = _obs.get_tracer()
     with tracer.span("sdfg.compile") as sp:
-        key = cache_key(sdfg, instrument)
+        key = cache_key(sdfg, instrument, backend=backend)
+        sp.set("backend", backend)
         program = _CACHE.get(key)
         if program is not None:
             _CACHE.move_to_end(key)
-            _HITS += 1
+            _HITS[backend] = _HITS.get(backend, 0) + 1
             _BYTES_SAVED += program.runtime_bytes
             sp.add("cache_hits", 1)
             return program
-        _MISSES += 1
+        _MISSES[backend] = _MISSES.get(backend, 0) + 1
         sp.add("cache_misses", 1)
         program = compile_sdfg(sdfg, instrument=instrument)
         _CACHE[key] = program
@@ -169,20 +205,29 @@ def get_or_compile(sdfg, instrument: bool = False):
         return program
 
 
-def stats() -> Dict[str, int]:
-    total = _HITS + _MISSES
+def stats() -> Dict[str, object]:
+    hits = sum(_HITS.values())
+    misses = sum(_MISSES.values())
+    total = hits + misses
+    by_backend = {
+        b: {"hits": _HITS.get(b, 0), "misses": _MISSES.get(b, 0)}
+        for b in sorted(set(_HITS) | set(_MISSES))
+    }
     return {
-        "hits": _HITS,
-        "misses": _MISSES,
+        "hits": hits,
+        "misses": misses,
         "entries": len(_CACHE),
         "bytes_saved": _BYTES_SAVED,
-        "hit_rate": (_HITS / total) if total else 0.0,
+        "hit_rate": (hits / total) if total else 0.0,
+        "by_backend": by_backend,
     }
 
 
 def reset(clear: bool = True) -> None:
     """Zero the counters (and optionally drop all cached programs)."""
-    global _HITS, _MISSES, _BYTES_SAVED
-    _HITS = _MISSES = _BYTES_SAVED = 0
+    global _BYTES_SAVED
+    _HITS.clear()
+    _MISSES.clear()
+    _BYTES_SAVED = 0
     if clear:
         _CACHE.clear()

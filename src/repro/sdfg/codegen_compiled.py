@@ -1,0 +1,1092 @@
+"""Second emission target: SDFG kernels → compiled scalar loop nests.
+
+Where :mod:`repro.sdfg.codegen` lowers each fused kernel to a sequence of
+full-domain ``out=``-scheduled ufunc calls, this module lowers it to a
+single scalar loop nest and hands that nest to a JIT engine
+(:mod:`repro.runtime.jit`: numba, a system C compiler, or plain Python
+for testing). The nest realizes the machine model's decisions for real:
+
+- **k-blocking** with ``CPU_K_BLOCK`` (:mod:`repro.core.perfmodel`) so a
+  kernel's working set stays cache-resident between statements, with the
+  block size shrunk by :func:`repro.core.heuristics.select_cpu_tiles`
+  until it fits the machine's last-level cache (``REPRO_KBLOCK``
+  overrides);
+- **i-tiling** from the kernel's tuned ``schedule.tile_sizes``;
+- **in-rank threading** over the outer i/tile loop (OpenMP under the C
+  engine, ``prange`` under numba), ``REPRO_THREADS`` sets the width.
+
+Bit-exactness against the NumPy backend is the hard contract. A kernel is
+only lowered when every operation in it has a scalar form provably
+bit-identical to the NumPy ufunc (fastmath stays off, ``-ffp-contract=off``
+forbids FMA contraction, min/max/sign replicate NumPy's NaN and signed-zero
+behaviour, int64 arithmetic wraps two's-complement). Anything outside that
+whitelist — transcendentals (libm is not bit-identical to NumPy), ``**``,
+``%``, ``//``, exotic dtypes, self-reads at an offset — raises
+:class:`IneligibleKernel` and that one kernel falls back to the parent's
+ufunc emission *within the same plan*; the rest of the program still runs
+compiled.
+
+Loop orders are chosen per kernel so scalar execution provably matches
+NumPy's statement-at-a-time semantics:
+
+- PARALLEL kernels run statement-major inside each k-block. Blocking is
+  legal unless a statement reads an in-kernel-written name at dk>0, or at
+  any dk≠0 written by a *later* statement, or reads a written field that
+  has no K axis across statements — those force a single full-K block.
+- FORWARD/BACKWARD kernels run column-major (all levels of one (i,j)
+  column before the next) when no statement reads an in-kernel-written
+  name at a horizontal offset, else level-major — which is exactly the
+  NumPy emission order.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import dataclasses
+import math
+import os
+import re
+import time
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.dsl.ir import (
+    Assign,
+    AxisIndexExpr,
+    BinOp,
+    Call,
+    Expr,
+    FieldAccess,
+    Literal,
+    ScalarRef,
+    Ternary,
+    UnaryOp,
+    expr_reads,
+    walk_expr,
+)
+from repro.runtime import jit
+from repro.sdfg.codegen import (
+    CompiledSDFG,
+    _locals_needing_zero,
+    _ranges_for,
+    _SourceBuilder,
+)
+from repro.sdfg.nodes import Kernel
+
+__all__ = [
+    "IneligibleKernel",
+    "PlanBindError",
+    "CompiledPlan",
+    "compile_sdfg_compiled",
+    "lower_kernel",
+]
+
+
+class IneligibleKernel(Exception):
+    """This kernel has no bit-exact scalar lowering; use ufunc emission."""
+
+
+class PlanBindError(ValueError):
+    """An array passed at call time does not match the compiled plan."""
+
+
+#: dtype.str → scalar type tag: "d" double, "l" int64, "b" bool
+_TAGS = {"<f8": "d", "<i8": "l", "|b1": "b"}
+_CTYPE = {"d": "double", "l": "int64_t", "b": "unsigned char"}
+
+#: NaN- and signed-zero-exact scalar equivalents of the NumPy ufuncs
+#: (probed: np.maximum/minimum return the *second* argument on ties, NaN
+#: propagates from either side; np.sign maps ±0.0 → +0.0 and NaN → NaN).
+_C_PREAMBLE = """\
+#include <math.h>
+#include <stdint.h>
+
+static inline double __r_fmax(double a, double b)
+{ return (a > b || a != a) ? a : b; }
+static inline double __r_fmin(double a, double b)
+{ return (a < b || a != a) ? a : b; }
+static inline double __r_sign(double x)
+{ return x > 0.0 ? 1.0 : (x < 0.0 ? -1.0 : (x != x ? x : 0.0)); }
+static inline int64_t __r_lmax(int64_t a, int64_t b)
+{ return a > b ? a : b; }
+static inline int64_t __r_lmin(int64_t a, int64_t b)
+{ return a < b ? a : b; }
+static inline int64_t __r_labs(int64_t x)
+{ return x < 0 ? (int64_t)(0u - (uint64_t)x) : x; }
+static inline int64_t __r_lsign(int64_t x)
+{ return x > 0 ? 1 : (x < 0 ? -1 : 0); }
+"""
+
+
+def _promote(a: str, b: str) -> str:
+    if "d" in (a, b):
+        return "d"
+    if "l" in (a, b):
+        return "l"
+    return "b"
+
+
+@dataclasses.dataclass
+class _NameInfo:
+    """Everything the emitters need to index one array argument."""
+
+    param: str      # parameter name inside the generated function
+    runtime: str    # driver-side variable passed at the call site
+    axes: str
+    origin: Tuple[int, int, int]
+    shape: Tuple[int, ...]
+    tag: str
+    strides: Tuple[int, ...]  # element strides, one per axis present
+
+
+@dataclasses.dataclass
+class _PlanStmt:
+    """One executable statement with its resolved iteration ranges."""
+
+    stmt: Assign
+    irng: Tuple[int, int]
+    jrng: Tuple[int, int]
+    #: region predication rectangle (compute-relative) or None
+    guard: Optional[Tuple[Tuple[int, int], Tuple[int, int]]]
+
+
+@dataclasses.dataclass
+class _PlanSection:
+    krng: Tuple[int, int]
+    stmts: List[_PlanStmt]
+
+
+@dataclasses.dataclass
+class KernelUnit:
+    """One lowered kernel: sources for every engine plus call metadata."""
+
+    label: str
+    func_name: str
+    #: driver-side expressions for the array arguments, in order
+    runtime_args: List[str]
+    #: (shape, dtype.str) per array argument, validated at each call
+    arg_specs: List[Tuple[Tuple[int, ...], str]]
+    scalar_names: List[str]
+    c_source: str
+    py_source: str
+    k_block: int
+    full_k: bool
+    parallel_dim: str  # "i" (parallel/level) or "column" or "none"
+
+
+def _k_params(kernel: Kernel, sdfg) -> Tuple[int, Optional[int]]:
+    """(k-block size, i-tile) for a kernel; ``REPRO_KBLOCK`` overrides."""
+    from repro.core.heuristics import select_cpu_tiles
+    from repro.obs.metrics import observed_machine
+
+    kb, i_tile = select_cpu_tiles(kernel, sdfg, observed_machine())
+    env = os.environ.get("REPRO_KBLOCK")
+    if env:
+        kb = max(1, int(env))
+    return kb, i_tile
+
+
+class _Lowerer:
+    """Shared analysis + per-language emission for one kernel."""
+
+    def __init__(self, kernel: Kernel, sdfg, func_name: str, threads: int):
+        self.kernel = kernel
+        self.sdfg = sdfg
+        self.func_name = func_name
+        self.threads = threads
+        self.infos: Dict[str, _NameInfo] = {}
+        self.scalars: List[str] = []
+        self.sections: List[_PlanSection] = []
+        self.full_k = False
+        self.column_major = True
+        self._collect()
+        self._resolve()
+        self._analyze()
+
+    # ---- argument collection -------------------------------------------
+
+    def _collect(self) -> None:
+        kernel, sdfg = self.kernel, self.sdfg
+        ni, nj, nk = kernel.domain
+        names, scalars = set(), set()
+        for stmt, _ in kernel.statements():
+            names.add(stmt.target.name)
+            for acc in expr_reads(stmt):
+                names.add(acc.name)
+            exprs = [stmt.value] + ([stmt.mask] if stmt.mask is not None else [])
+            for e in exprs:
+                for node in walk_expr(e):
+                    if isinstance(node, ScalarRef):
+                        scalars.add(node.name)
+        for name in sorted(names):
+            if name in kernel.local_arrays:
+                ext = kernel.local_arrays[name]
+                shape = (
+                    ni - ext.i_lo + ext.i_hi,
+                    nj - ext.j_lo + ext.j_hi,
+                    nk - ext.k_lo + ext.k_hi,
+                )
+                info = _NameInfo(
+                    param=f"t_{name}",
+                    runtime=f"__loc{kernel.node_id}_{name}",
+                    axes="IJK",
+                    origin=(-ext.i_lo, -ext.j_lo, -ext.k_lo),
+                    shape=shape,
+                    tag="d",
+                    strides=(shape[1] * shape[2], shape[2], 1),
+                )
+            else:
+                desc = sdfg.arrays[name]
+                tag = _TAGS.get(np.dtype(desc.dtype).str)
+                if tag is None:
+                    raise IneligibleKernel(
+                        f"unsupported dtype {desc.dtype!r} for {name!r}"
+                    )
+                shape = tuple(desc.shape)
+                if len(shape) != len(desc.axes) or not all(
+                    isinstance(s, (int, np.integer)) and s > 0 for s in shape
+                ):
+                    raise IneligibleKernel(f"non-concrete shape for {name!r}")
+                strides = []
+                acc = 1
+                for s in reversed(shape):
+                    strides.append(acc)
+                    acc *= int(s)
+                info = _NameInfo(
+                    param=f"f_{name}",
+                    runtime=name,
+                    axes=desc.axes,
+                    origin=kernel.origin_of(name),
+                    shape=shape,
+                    tag=tag,
+                    strides=tuple(reversed(strides)),
+                )
+            self.infos[name] = info
+        self.scalars = sorted(scalars)
+        self.arg_names = sorted(names)
+
+    # ---- iteration-range resolution ------------------------------------
+
+    def _resolve(self) -> None:
+        kernel = self.kernel
+        nk = kernel.domain[2]
+        for section in kernel.sections:
+            k0, k1 = section.interval.resolve(nk)
+            k0, k1 = max(k0, 0), min(k1, nk)
+            if k0 >= k1:
+                continue
+            plan_stmts = []
+            for stmt, ext in section.statements:
+                full, restricted = _ranges_for(kernel, stmt, ext)
+                predicate = (
+                    kernel.schedule.regions_as_predication
+                    and stmt.region is not None
+                )
+                if stmt.region is not None and restricted is None:
+                    continue  # region empty on this rank
+                irng, jrng = full if predicate else (restricted or full)
+                guard = restricted if predicate else None
+                tinfo = self.infos[stmt.target.name]
+                if tinfo.axes == "K":
+                    raise IneligibleKernel(
+                        f"K-axis target {stmt.target.name!r}"
+                    )
+                if tinfo.axes == "IJ" and k1 - k0 != 1:
+                    raise IneligibleKernel(
+                        f"2D target {stmt.target.name!r} over a "
+                        "multi-level interval"
+                    )
+                plan_stmts.append(_PlanStmt(stmt, irng, jrng, guard))
+            if plan_stmts:
+                self.sections.append(_PlanSection((k0, k1), plan_stmts))
+        if not self.sections:
+            raise IneligibleKernel("no executable statements")
+
+    # ---- legality analysis ----------------------------------------------
+
+    def _analyze(self) -> None:
+        flat: List[_PlanStmt] = [
+            ps for sec in self.sections for ps in sec.stmts
+        ]
+        writers: Dict[str, List[int]] = {}
+        for idx, ps in enumerate(flat):
+            writers.setdefault(ps.stmt.target.name, []).append(idx)
+        parallel = self.kernel.order == "PARALLEL"
+        for idx, ps in enumerate(flat):
+            for acc in expr_reads(ps.stmt):
+                if acc.name == ps.stmt.target.name and (
+                    acc.offset != (0, 0, 0)
+                    if parallel
+                    else acc.offset[0] != 0 or acc.offset[1] != 0
+                ):
+                    # NumPy materializes a statement's full RHS before
+                    # assigning; an in-place scalar loop would read
+                    # already-updated points. Sequential kernels evaluate
+                    # per level, so only *horizontal* self-reads clash —
+                    # vertical self-reads are the solver recurrence both
+                    # forms execute identically.
+                    raise IneligibleKernel(
+                        f"{ps.stmt.target.name!r} reads itself at offset "
+                        f"{acc.offset}"
+                    )
+                widx = writers.get(acc.name)
+                if not widx:
+                    continue
+                if acc.offset[0] != 0 or acc.offset[1] != 0:
+                    self.column_major = False
+                if "K" not in self.infos[acc.name].axes:
+                    if any(w != idx for w in widx):
+                        self.full_k = True
+                    continue
+                dk = acc.offset[2]
+                if dk == 0:
+                    continue
+                if dk > 0 or any(w > idx for w in widx):
+                    self.full_k = True
+
+    # ---- statement fusion -----------------------------------------------
+
+    @staticmethod
+    def _fuse_clusters(stmts: List[_PlanStmt]) -> List[List[_PlanStmt]]:
+        """Partition a section's statements into maximal consecutive runs
+        that may execute fused in one loop body (per grid point).
+
+        Fusing statements A;B per point is bit-identical to running A's
+        full plane before B's unless a point of B observes a *different*
+        point of the plane mid-update. Hence a statement joins the current
+        cluster only when (1) it iterates the exact same i/j ranges and
+        region guard, (2) it reads no cluster-written name at a nonzero
+        offset (RAW: it would see partially-updated neighbours), and (3)
+        it writes no name the cluster reads at a nonzero offset (WAR: an
+        earlier statement's neighbour read would see the new value).
+        Zero-offset dependencies are safe — at each point the cluster
+        executes its statements in program order.
+        """
+        clusters: List[List[_PlanStmt]] = []
+        cur: List[_PlanStmt] = []
+        writes: set = set()
+        nonzero_reads: set = set()
+
+        def flush():
+            nonlocal cur
+            if cur:
+                clusters.append(cur)
+            cur = []
+            writes.clear()
+            nonzero_reads.clear()
+
+        for ps in stmts:
+            if cur:
+                head = cur[0]
+                compatible = (
+                    ps.irng == head.irng
+                    and ps.jrng == head.jrng
+                    and ps.guard == head.guard
+                    and ps.stmt.target.name not in nonzero_reads
+                    and not any(
+                        acc.name in writes and acc.offset != (0, 0, 0)
+                        for acc in expr_reads(ps.stmt)
+                    )
+                )
+                if not compatible:
+                    flush()
+            cur.append(ps)
+            writes.add(ps.stmt.target.name)
+            for acc in expr_reads(ps.stmt):
+                if acc.offset != (0, 0, 0):
+                    nonzero_reads.add(acc.name)
+        flush()
+        return clusters
+
+    # ---- expression emission --------------------------------------------
+
+    def _index_c(self, info: _NameInfo, off) -> str:
+        axvar = {"I": ("i", 0), "J": ("j", 1), "K": ("k", 2)}
+        terms = []
+        for ax, stride in zip(info.axes, info.strides):
+            var, d = axvar[ax]
+            base = info.origin[d] + off[d]
+            term = f"({var} + ({base}))" if base else var
+            terms.append(f"{term} * {stride}" if stride != 1 else term)
+        return " + ".join(terms)
+
+    def _index_py(self, info: _NameInfo, off) -> str:
+        axvar = {"I": ("i", 0), "J": ("j", 1), "K": ("k", 2)}
+        terms = []
+        for ax in info.axes:
+            var, d = axvar[ax]
+            base = info.origin[d] + off[d]
+            terms.append(f"{var} + ({base})" if base else var)
+        return ", ".join(terms)
+
+    def _expr(self, expr: Expr, c: bool) -> Tuple[str, str]:
+        """Emit one expression; returns (code, tag)."""
+        e = lambda x: self._expr(x, c)  # noqa: E731
+        if isinstance(expr, Literal):
+            v = expr.value
+            if isinstance(v, bool):
+                return (("1" if v else "0") if c else repr(v), "b")
+            if isinstance(v, int):
+                return (f"((int64_t){v}LL)" if c else repr(v), "l")
+            if not math.isfinite(v):
+                raise IneligibleKernel(f"non-finite literal {v!r}")
+            return (float(v).hex() if c else repr(float(v)), "d")
+        if isinstance(expr, ScalarRef):
+            return f"s_{expr.name}", "d"
+        if isinstance(expr, AxisIndexExpr):
+            return {"I": "i", "J": "j", "K": "k"}[expr.axis], "l"
+        if isinstance(expr, FieldAccess):
+            info = self.infos[expr.name]
+            idx = (
+                self._index_c(info, expr.offset)
+                if c
+                else self._index_py(info, expr.offset)
+            )
+            return f"{info.param}[{idx}]", info.tag
+        if isinstance(expr, BinOp):
+            if expr.op in ("and", "or"):
+                (A, _), (B, _) = e(expr.left), e(expr.right)
+                op = (
+                    ("&&" if expr.op == "and" else "||")
+                    if c
+                    else expr.op
+                )
+                return f"((({A}) != 0) {op} (({B}) != 0))", "b"
+            (A, ta), (B, tb) = e(expr.left), e(expr.right)
+            if expr.op in ("<", ">", "<=", ">=", "==", "!="):
+                return f"(({A}) {expr.op} ({B}))", "b"
+            if expr.op == "/":
+                if c:
+                    return f"((double)({A}) / (double)({B}))", "d"
+                return f"(({A}) / ({B}))", "d"
+            if expr.op in ("+", "-", "*"):
+                t = _promote(ta, tb)
+                if t == "b":
+                    raise IneligibleKernel("arithmetic on two booleans")
+                if c and t == "l":
+                    # compute in uint64: two's-complement wrap without the
+                    # signed-overflow UB (matches NumPy int64 semantics)
+                    return (
+                        f"((int64_t)((uint64_t)({A}) {expr.op} "
+                        f"(uint64_t)({B})))",
+                        "l",
+                    )
+                return f"(({A}) {expr.op} ({B}))", t
+            raise IneligibleKernel(f"operator {expr.op!r}")
+        if isinstance(expr, UnaryOp):
+            X, t = e(expr.operand)
+            if expr.op == "not":
+                return (
+                    f"(({X}) == 0)" if c else f"(not (({X}) != 0))",
+                    "b",
+                )
+            if t == "b":
+                raise IneligibleKernel("negation of a boolean")
+            if c and t == "l":
+                return f"((int64_t)(-(uint64_t)({X})))", "l"
+            return f"(-({X}))", t
+        if isinstance(expr, Call):
+            return self._call(expr, c)
+        if isinstance(expr, Ternary):
+            C_, _ = e(expr.cond)
+            (A, ta), (B, tb) = e(expr.then), e(expr.orelse)
+            t = _promote(ta, tb)
+            if c:
+                return f"((({C_}) != 0) ? ({A}) : ({B}))", t
+            return f"(({A}) if (({C_}) != 0) else ({B}))", t
+        raise IneligibleKernel(f"expression {type(expr).__name__}")
+
+    def _call(self, expr: Call, c: bool) -> Tuple[str, str]:
+        f = expr.func
+        args = [self._expr(a, c) for a in expr.args]
+        if f == "sqrt":
+            (X, t) = args[0]
+            if t == "b":
+                raise IneligibleKernel("sqrt of a boolean")
+            return (f"sqrt((double)({X}))" if c else f"np.sqrt({X})", "d")
+        if f == "abs":
+            (X, t) = args[0]
+            if not c:
+                return f"np.abs({X})", t
+            if t == "d":
+                return f"fabs({X})", "d"
+            if t == "l":
+                return f"__r_labs({X})", "l"
+            return f"({X})", "b"  # np.abs on bool is the identity
+        if f in ("floor", "ceil", "trunc"):
+            (X, t) = args[0]
+            if t == "b":
+                raise IneligibleKernel(f"{f} of a boolean")
+            if t == "l":
+                return f"({X})", "l"  # NumPy preserves integer dtype
+            return (f"{f}({X})" if c else f"np.{f}({X})", "d")
+        if f in ("min", "max"):
+            (A, ta), (B, tb) = args
+            t = _promote(ta, tb)
+            if not c:
+                np_f = "np.minimum" if f == "min" else "np.maximum"
+                return f"{np_f}(({A}), ({B}))", t
+            if t == "b":
+                op = "&&" if f == "min" else "||"
+                return f"((({A}) != 0) {op} (({B}) != 0))", "b"
+            helper = {"d": "__r_f", "l": "__r_l"}[t] + f
+            return f"{helper}(({A}), ({B}))", t
+        if f == "sign":
+            (X, t) = args[0]
+            if t == "b":
+                raise IneligibleKernel("sign of a boolean")
+            if not c:
+                return f"np.sign({X})", t
+            return (f"__r_sign({X})" if t == "d" else f"__r_lsign({X})", t)
+        raise IneligibleKernel(
+            f"{f}() has no bit-exact scalar form (libm differs from NumPy)"
+        )
+
+    def _store(self, ps: _PlanStmt, c: bool) -> str:
+        info = self.infos[ps.stmt.target.name]
+        V, tv = self._expr(ps.stmt.value, c)
+        if c:
+            idx = self._index_c(info, (0, 0, 0))
+            if info.tag == "b":
+                V = f"(unsigned char)(({V}) != 0)"
+            elif info.tag == "l" and tv == "d":
+                V = f"(int64_t)({V})"  # C truncation == NumPy float→int
+            return f"{info.param}[{idx}] = {V};"
+        idx = self._index_py(info, (0, 0, 0))
+        # NumPy element assignment performs the same dtype cast the array
+        # backend's full-array assignment does
+        return f"{info.param}[{idx}] = {V}"
+
+    # ---- C loop nests ----------------------------------------------------
+
+    @staticmethod
+    def _omp() -> str:
+        # ignored (silently) when the object was built without -fopenmp
+        return (
+            "#pragma omp parallel for schedule(static) "
+            "num_threads((int)nthreads) if(nthreads > 1)"
+        )
+
+    def emit_c(self, k_block: int, i_tile: Optional[int]) -> str:
+        out = _SourceBuilder()
+        params = [
+            f"{_CTYPE[self.infos[n].tag]}* {self.infos[n].param}"
+            for n in self.arg_names
+        ]
+        params += [f"double s_{s}" for s in self.scalars]
+        params.append("int64_t nthreads")
+        out.emit(f"void {self.func_name}({', '.join(params)})")
+        out.emit("{")
+        out.indent += 1
+        out.emit("(void)nthreads;")
+        if self.kernel.order == "PARALLEL":
+            self._c_parallel(out, k_block, i_tile)
+        elif self.column_major:
+            self._c_column(out, i_tile)
+        else:
+            self._c_level(out, i_tile)
+        out.indent -= 1
+        out.emit("}")
+        return out.source()
+
+    def _c_parallel(self, out, kb: int, i_tile) -> None:
+        kmin = min(sec.krng[0] for sec in self.sections)
+        kmax = max(sec.krng[1] for sec in self.sections)
+        blocked = not self.full_k and 0 < kb < (kmax - kmin)
+        if blocked:
+            out.emit(f"for (int64_t __b = {kmin}; __b < {kmax}; __b += {kb})")
+            out.emit("{")
+            out.indent += 1
+            out.emit(
+                f"int64_t __be = __b + {kb} < {kmax} ? __b + {kb} : {kmax};"
+            )
+        for sec in self.sections:
+            k0, k1 = sec.krng
+            if blocked:
+                out.emit("{")
+                out.indent += 1
+                out.emit(f"int64_t __k0 = {k0} > __b ? {k0} : __b;")
+                out.emit(f"int64_t __k1 = {k1} < __be ? {k1} : __be;")
+                out.emit("if (__k0 < __k1) {")
+                out.indent += 1
+                klo, khi = "__k0", "__k1"
+            else:
+                klo, khi = str(k0), str(k1)
+            for group in self._fuse_clusters(sec.stmts):
+                self._c_stmt_loops(out, group, i_tile, klo=klo, khi=khi)
+            if blocked:
+                out.indent -= 1
+                out.emit("}")
+                out.indent -= 1
+                out.emit("}")
+        if blocked:
+            out.indent -= 1
+            out.emit("}")
+
+    def _c_stmt_loops(self, out, group, i_tile, klo=None, khi=None) -> None:
+        """omp-parallel i (or i-tile) loop, j loop, optional region guard,
+        optional inner k loop [klo, khi), then the fused statement bodies.
+
+        ``group`` is one fusion cluster (:meth:`_fuse_clusters`) — or a
+        single statement wrapped in a list; all members share ranges and
+        guard, so the loop structure comes from the first."""
+        if isinstance(group, _PlanStmt):
+            group = [group]
+        ps = group[0]
+        i0, i1 = ps.irng
+        j0, j1 = ps.jrng
+        opens = 0
+        out.emit(self._omp())
+        if i_tile and 0 < i_tile < i1 - i0:
+            out.emit(
+                f"for (int64_t __t = {i0}; __t < {i1}; __t += {i_tile}) {{"
+            )
+            out.indent += 1
+            opens += 1
+            out.emit(
+                f"int64_t __te = __t + {i_tile} < {i1} ? "
+                f"__t + {i_tile} : {i1};"
+            )
+            out.emit("for (int64_t i = __t; i < __te; ++i) {")
+        else:
+            out.emit(f"for (int64_t i = {i0}; i < {i1}; ++i) {{")
+        out.indent += 1
+        opens += 1
+        out.emit(f"for (int64_t j = {j0}; j < {j1}; ++j) {{")
+        out.indent += 1
+        opens += 1
+        if ps.guard is not None:
+            (a0, a1), (b0, b1) = ps.guard
+            out.emit(
+                f"if (i >= {a0} && i < {a1} && j >= {b0} && j < {b1}) {{"
+            )
+            out.indent += 1
+            opens += 1
+        if klo is not None:
+            out.emit(f"for (int64_t k = {klo}; k < {khi}; ++k) {{")
+            out.indent += 1
+            opens += 1
+        for member in group:
+            self._c_body(out, member)
+        while opens:
+            out.indent -= 1
+            out.emit("}")
+            opens -= 1
+
+    def _c_body(self, out, ps) -> None:
+        if ps.stmt.mask is not None:
+            M, _ = self._expr(ps.stmt.mask, True)
+            out.emit(f"if (({M}) != 0) {{")
+            out.indent += 1
+            out.emit(self._store(ps, True))
+            out.indent -= 1
+            out.emit("}")
+        else:
+            out.emit(self._store(ps, True))
+
+    def _c_column(self, out, i_tile) -> None:
+        flat = [ps for sec in self.sections for ps in sec.stmts]
+        I0 = min(ps.irng[0] for ps in flat)
+        I1 = max(ps.irng[1] for ps in flat)
+        J0 = min(ps.jrng[0] for ps in flat)
+        J1 = max(ps.jrng[1] for ps in flat)
+        opens = 0
+        out.emit(self._omp())
+        if i_tile and 0 < i_tile < I1 - I0:
+            out.emit(
+                f"for (int64_t __t = {I0}; __t < {I1}; __t += {i_tile}) {{"
+            )
+            out.indent += 1
+            opens += 1
+            out.emit(
+                f"int64_t __te = __t + {i_tile} < {I1} ? "
+                f"__t + {i_tile} : {I1};"
+            )
+            out.emit("for (int64_t i = __t; i < __te; ++i) {")
+        else:
+            out.emit(f"for (int64_t i = {I0}; i < {I1}; ++i) {{")
+        out.indent += 1
+        opens += 1
+        out.emit(f"for (int64_t j = {J0}; j < {J1}; ++j) {{")
+        out.indent += 1
+        opens += 1
+        for sec in self.sections:
+            k0, k1 = sec.krng
+            if self.kernel.order == "FORWARD":
+                out.emit(f"for (int64_t k = {k0}; k < {k1}; ++k) {{")
+            else:
+                out.emit(f"for (int64_t k = {k1} - 1; k >= {k0}; --k) {{")
+            out.indent += 1
+            for ps in sec.stmts:
+                conds = []
+                if ps.irng != (I0, I1):
+                    conds.append(f"i >= {ps.irng[0]} && i < {ps.irng[1]}")
+                if ps.jrng != (J0, J1):
+                    conds.append(f"j >= {ps.jrng[0]} && j < {ps.jrng[1]}")
+                if ps.guard is not None:
+                    (a0, a1), (b0, b1) = ps.guard
+                    conds.append(
+                        f"i >= {a0} && i < {a1} && j >= {b0} && j < {b1}"
+                    )
+                if conds:
+                    out.emit(f"if ({' && '.join(conds)}) {{")
+                    out.indent += 1
+                    self._c_body(out, ps)
+                    out.indent -= 1
+                    out.emit("}")
+                else:
+                    self._c_body(out, ps)
+            out.indent -= 1
+            out.emit("}")
+        while opens:
+            out.indent -= 1
+            out.emit("}")
+            opens -= 1
+
+    def _c_level(self, out, i_tile) -> None:
+        """Exactly the parent's emission order: per section, a sequential
+        k sweep, statements as full horizontal planes inside."""
+        for sec in self.sections:
+            k0, k1 = sec.krng
+            if self.kernel.order == "FORWARD":
+                out.emit(f"for (int64_t k = {k0}; k < {k1}; ++k) {{")
+            else:
+                out.emit(f"for (int64_t k = {k1} - 1; k >= {k0}; --k) {{")
+            out.indent += 1
+            for ps in sec.stmts:
+                self._c_stmt_loops(out, ps, i_tile)
+            out.indent -= 1
+            out.emit("}")
+
+    # ---- Python loop nests ----------------------------------------------
+
+    def emit_py(self, k_block: int) -> str:
+        out = _SourceBuilder()
+        params = [self.infos[n].param for n in self.arg_names]
+        params += [f"s_{s}" for s in self.scalars]
+        out.emit(f"def {self.func_name}({', '.join(params)}):")
+        out.indent += 1
+        if self.kernel.order == "PARALLEL":
+            self._py_parallel(out, k_block)
+        elif self.column_major:
+            self._py_column(out)
+        else:
+            self._py_level(out)
+        out.emit("return None")
+        return out.source()
+
+    def _py_parallel(self, out, kb: int) -> None:
+        kmin = min(sec.krng[0] for sec in self.sections)
+        kmax = max(sec.krng[1] for sec in self.sections)
+        blocked = not self.full_k and 0 < kb < (kmax - kmin)
+        base = out.indent
+        if blocked:
+            out.emit(f"for __b in range({kmin}, {kmax}, {kb}):")
+            out.indent += 1
+            out.emit(f"__be = min(__b + {kb}, {kmax})")
+        for sec in self.sections:
+            k0, k1 = sec.krng
+            if blocked:
+                out.emit(f"__k0 = max({k0}, __b)")
+                out.emit(f"__k1 = min({k1}, __be)")
+                out.emit("if __k0 < __k1:")
+                out.indent += 1
+                klo, khi = "__k0", "__k1"
+            else:
+                klo, khi = str(k0), str(k1)
+            for group in self._fuse_clusters(sec.stmts):
+                self._py_stmt_loops(out, group, klo=klo, khi=khi)
+            if blocked:
+                out.indent -= 1
+        out.indent = base
+
+    def _py_stmt_loops(self, out, group, klo=None, khi=None) -> None:
+        if isinstance(group, _PlanStmt):
+            group = [group]
+        ps = group[0]
+        base = out.indent
+        i0, i1 = ps.irng
+        j0, j1 = ps.jrng
+        out.emit(f"for i in __prange({i0}, {i1}):")
+        out.indent += 1
+        out.emit(f"for j in range({j0}, {j1}):")
+        out.indent += 1
+        if ps.guard is not None:
+            (a0, a1), (b0, b1) = ps.guard
+            out.emit(f"if {a0} <= i < {a1} and {b0} <= j < {b1}:")
+            out.indent += 1
+        if klo is not None:
+            out.emit(f"for k in range({klo}, {khi}):")
+            out.indent += 1
+        for member in group:
+            self._py_body(out, member)
+        out.indent = base
+
+    def _py_body(self, out, ps) -> None:
+        if ps.stmt.mask is not None:
+            M, _ = self._expr(ps.stmt.mask, False)
+            out.emit(f"if ({M}) != 0:")
+            out.indent += 1
+            out.emit(self._store(ps, False))
+            out.indent -= 1
+        else:
+            out.emit(self._store(ps, False))
+
+    def _py_column(self, out) -> None:
+        flat = [ps for sec in self.sections for ps in sec.stmts]
+        I0 = min(ps.irng[0] for ps in flat)
+        I1 = max(ps.irng[1] for ps in flat)
+        J0 = min(ps.jrng[0] for ps in flat)
+        J1 = max(ps.jrng[1] for ps in flat)
+        base = out.indent
+        out.emit(f"for i in __prange({I0}, {I1}):")
+        out.indent += 1
+        out.emit(f"for j in range({J0}, {J1}):")
+        out.indent += 1
+        for sec in self.sections:
+            k0, k1 = sec.krng
+            if self.kernel.order == "FORWARD":
+                out.emit(f"for k in range({k0}, {k1}):")
+            else:
+                out.emit(f"for k in range({k1} - 1, {k0} - 1, -1):")
+            out.indent += 1
+            for ps in sec.stmts:
+                conds = []
+                if ps.irng != (I0, I1):
+                    conds.append(f"{ps.irng[0]} <= i < {ps.irng[1]}")
+                if ps.jrng != (J0, J1):
+                    conds.append(f"{ps.jrng[0]} <= j < {ps.jrng[1]}")
+                if ps.guard is not None:
+                    (a0, a1), (b0, b1) = ps.guard
+                    conds.append(
+                        f"{a0} <= i < {a1} and {b0} <= j < {b1}"
+                    )
+                if conds:
+                    out.emit(f"if {' and '.join(conds)}:")
+                    out.indent += 1
+                    self._py_body(out, ps)
+                    out.indent -= 1
+                else:
+                    self._py_body(out, ps)
+            out.indent -= 1
+        out.indent = base
+
+    def _py_level(self, out) -> None:
+        for sec in self.sections:
+            k0, k1 = sec.krng
+            if self.kernel.order == "FORWARD":
+                out.emit(f"for k in range({k0}, {k1}):")
+            else:
+                out.emit(f"for k in range({k1} - 1, {k0} - 1, -1):")
+            out.indent += 1
+            for ps in sec.stmts:
+                self._py_stmt_loops(out, ps)
+            out.indent -= 1
+
+
+_TAG_DTYPE = {"d": "<f8", "l": "<i8", "b": "|b1"}
+
+
+def lower_kernel(kernel: Kernel, sdfg, func_name: str, threads: int) -> KernelUnit:
+    """Lower one kernel to a :class:`KernelUnit`, or raise
+    :class:`IneligibleKernel` when no bit-exact scalar form exists."""
+    if kernel.order not in ("PARALLEL", "FORWARD", "BACKWARD"):
+        raise IneligibleKernel(f"iteration order {kernel.order!r}")
+    low = _Lowerer(kernel, sdfg, func_name, threads)
+    k_block, i_tile = _k_params(kernel, sdfg)
+    tile = kernel.schedule.tile_sizes
+    if i_tile is None and tile and tile[0] and tile[0] > 0:
+        i_tile = tile[0]
+    c_source = low.emit_c(k_block, i_tile)
+    py_source = low.emit_py(k_block)
+    return KernelUnit(
+        label=kernel.label,
+        func_name=func_name,
+        runtime_args=[low.infos[n].runtime for n in low.arg_names],
+        arg_specs=[
+            (tuple(low.infos[n].shape), _TAG_DTYPE[low.infos[n].tag])
+            for n in low.arg_names
+        ],
+        scalar_names=low.scalars,
+        c_source=c_source,
+        py_source=py_source,
+        k_block=k_block,
+        full_k=low.full_k,
+        parallel_dim="i",
+    )
+
+
+# ---------------------------------------------------------------------------
+# runtime call wrappers
+# ---------------------------------------------------------------------------
+
+
+def _check_args(args, specs, label):
+    for arr, (shape, dstr) in zip(args, specs):
+        if (
+            getattr(arr, "shape", None) != shape
+            or arr.dtype.str != dstr
+            or not arr.flags.c_contiguous
+        ):
+            raise PlanBindError(
+                f"kernel {label!r}: array does not match the compiled plan "
+                f"(expected C-contiguous {shape}/{dstr}, got "
+                f"{getattr(arr, 'shape', None)}/"
+                f"{getattr(getattr(arr, 'dtype', None), 'str', None)})"
+            )
+
+
+def _c_caller(cfn, unit: KernelUnit, threads: int):
+    narr = len(unit.arg_specs)
+
+    def call(*args):
+        _check_args(args[:narr], unit.arg_specs, unit.label)
+        cargs = [arr.ctypes.data for arr in args[:narr]]
+        cargs.extend(float(s) for s in args[narr:])
+        cargs.append(threads)
+        cfn(*cargs)
+
+    return call
+
+
+def _py_caller(fn, unit: KernelUnit):
+    narr = len(unit.arg_specs)
+
+    def call(*args):
+        _check_args(args[:narr], unit.arg_specs, unit.label)
+        fn(*args)
+
+    return call
+
+
+# ---------------------------------------------------------------------------
+# the compiled plan
+# ---------------------------------------------------------------------------
+
+
+class CompiledPlan(CompiledSDFG):
+    """A whole-program plan whose eligible kernels run as JIT-compiled
+    scalar loop nests; ineligible kernels keep the parent's ufunc emission
+    within the same program, so the plan as a whole always runs.
+
+    The driver program (tasklets, callbacks, transient zero fills, pooled
+    kernel-local binding, per-kernel ``__KT``/``__KC`` instrumentation) is
+    inherited unchanged from :class:`repro.sdfg.codegen.CompiledSDFG` —
+    only the per-kernel body emission is replaced by a call into ``__K``,
+    the list of materialized kernel entry points."""
+
+    def __init__(self, sdfg, instrument: bool = False):
+        self._units: List[KernelUnit] = []
+        self.fallback_kernels: List[Tuple[str, str]] = []
+        self.threads = jit.default_threads()
+        self.engine: Optional[str] = None
+        self.jit_seconds = 0.0
+        super().__init__(sdfg, instrument=instrument)
+        self._materialize()
+
+    @property
+    def compiled_kernels(self) -> List[str]:
+        return [u.label for u in self._units]
+
+    # ------------------------------------------------------------------
+    def _emit_node(self, node, out, pending_fills) -> None:
+        if not isinstance(node, Kernel):
+            return super()._emit_node(node, out, pending_fills)
+        func_name = "repro_k%d_%s" % (
+            len(self._units),
+            re.sub(r"[^0-9A-Za-z_]", "_", node.label),
+        )
+        try:
+            unit = lower_kernel(node, self.sdfg, func_name, self.threads)
+        except IneligibleKernel as exc:
+            self.fallback_kernels.append((node.label, str(exc)))
+            return super()._emit_node(node, out, pending_fills)
+        self._emit_fills(node, out, pending_fills)
+        uidx = len(self._units)
+        self._units.append(unit)
+        kidx = len(self.kernel_labels)
+        self.kernel_labels.append(node.label)
+        out.emit(f"# kernel {node.label} [compiled:{unit.func_name}]")
+        if self.instrument:
+            out.emit("__t0 = __perf_counter()")
+        # bind kernel-local arrays to pooled slots, zeroing exactly the
+        # ones the parent would zero (read before fully written)
+        prefix = f"__loc{node.node_id}_"
+        need_zero = _locals_needing_zero(node)
+        ni, nj, nk = node.domain
+        local_slots = []
+        for name, ext in node.local_arrays.items():
+            shape = (
+                ni - ext.i_lo + ext.i_hi,
+                nj - ext.j_lo + ext.j_hi,
+                nk - ext.k_lo + ext.k_hi,
+            )
+            idx = self._plan.alloc(shape)
+            local_slots.append(idx)
+            out.emit(f"{prefix}{name} = __B[{idx}]")
+            if name in need_zero:
+                out.emit(f"{prefix}{name}.fill(0)")
+        args = list(unit.runtime_args)
+        args += [f"__s_{s}" for s in unit.scalar_names]
+        out.emit(f"__K[{uidx}]({', '.join(args)})")
+        if self.instrument:
+            out.emit(f"__KT[{kidx}] += __perf_counter() - __t0")
+            out.emit(f"__KC[{kidx}] += 1")
+        for idx in local_slots:
+            self._plan.free(idx)
+
+    # ------------------------------------------------------------------
+    def _materialize(self) -> None:
+        """Compile every lowered unit with the active JIT engine and bind
+        the resulting entry points into the driver's ``__K`` table."""
+        engine = jit.engine_name()
+        self.engine = engine
+        funcs: List = []
+        t0 = time.perf_counter()
+        if not self._units:
+            pass
+        elif engine == "cgen":
+            source = _C_PREAMBLE + "\n".join(
+                u.c_source for u in self._units
+            )
+            lib = jit.compile_c(source, want_openmp=self.threads > 1)
+            for unit in self._units:
+                cfn = getattr(lib, unit.func_name)
+                cfn.argtypes = (
+                    [ctypes.c_void_p] * len(unit.arg_specs)
+                    + [ctypes.c_double] * len(unit.scalar_names)
+                    + [ctypes.c_int64]
+                )
+                cfn.restype = None
+                funcs.append(_c_caller(cfn, unit, self.threads))
+        elif engine in ("numba", "pyloops"):
+            parallel = engine == "numba" and self.threads > 1
+            for unit in self._units:
+                fn = jit.compile_py(
+                    unit.py_source, unit.func_name, parallel=parallel
+                )
+                funcs.append(_py_caller(fn, unit))
+        else:
+            raise jit.JitUnavailableError(
+                "compiled backend requires a JIT engine (numba, a C "
+                "compiler, or REPRO_JIT=pyloops); none is available"
+            )
+        self.jit_seconds = time.perf_counter() - t0
+        self._program.__globals__["__K"] = funcs
+
+
+def compile_sdfg_compiled(sdfg, instrument: bool = False) -> CompiledPlan:
+    """Expand (if needed) and compile an SDFG into a compiled-backend plan.
+
+    Raises :class:`repro.runtime.jit.JitUnavailableError` when no JIT
+    engine resolved — callers (the backend registry, the orchestration
+    layer) turn that into a warn-once fallback."""
+    if not jit.available():
+        raise jit.JitUnavailableError(
+            "no JIT engine available (install numba, provide a C compiler, "
+            "or set REPRO_JIT=pyloops)"
+        )
+    if any(state.library_nodes for state in sdfg.states):
+        sdfg.expand_library_nodes()
+    return CompiledPlan(sdfg, instrument=instrument)

@@ -1,11 +1,14 @@
-"""Bit-exactness of the pooled, ``out=``-scheduled compiled backend.
+"""Bit-exactness of every non-debug backend against the NumPy reference.
 
-Every stencil in every FV3 stencil module runs through both the debug
-NumPy backend and the dataflow (compiled SDFG) backend on identical
-random inputs; the results must be *exactly* equal — not allclose. The
+Every stencil in every FV3 stencil module runs through the debug NumPy
+backend and each other registered backend on identical random inputs; the
+results must be *exactly* equal — not allclose. For ``dataflow`` the
 ``out=`` scheduler only materializes subexpressions whose dtype is
 provably float64 and only uses ``out=`` where NumPy's ufunc overlap
-guarantee applies, so any bit difference is a codegen bug.
+guarantee applies; for ``compiled`` every lowered scalar operation must
+replicate the ufunc bit-for-bit (fastmath off, no FMA contraction,
+NumPy's NaN/signed-zero min/max/sign semantics). Any bit difference on
+any backend is a codegen bug.
 """
 
 import importlib
@@ -16,6 +19,7 @@ import pytest
 
 import repro.fv3.stencils as stencils_pkg
 from repro.dsl import StencilObject
+from repro.dsl.backends import available_backends
 from repro.dsl.extents import k_access_bounds
 
 
@@ -66,20 +70,41 @@ def _synthesize(stencil):
     return fields, scalars, origin
 
 
+def _backends():
+    """Every registered backend except the NumPy reference, each skipped
+    with a reason when its toolchain is unavailable."""
+    params = []
+    for name in available_backends():
+        if name == "numpy":
+            continue
+        marks = ()
+        if name == "compiled":
+            from repro.runtime import jit
+
+            if not jit.available():
+                marks = (pytest.mark.skip(
+                    reason="compiled backend: no JIT engine (numba not "
+                    "installed and no C compiler found)"
+                ),)
+        params.append(pytest.param(name, id=name, marks=marks))
+    return params
+
+
 @pytest.mark.parametrize("stencil", _discover())
-def test_dataflow_backend_is_bit_identical(stencil):
+@pytest.mark.parametrize("backend", _backends())
+def test_backend_is_bit_identical(backend, stencil):
     fields, scalars, origin = _synthesize(stencil)
     domain = (NI, NJ, NK)
     ref = {n: a.copy() for n, a in fields.items()}
     got = {n: a.copy() for n, a in fields.items()}
     stencil(**ref, **scalars, origin=origin, domain=domain, backend="numpy")
     stencil(**got, **scalars, origin=origin, domain=domain,
-            backend="dataflow")
+            backend=backend)
     for name in fields:
         np.testing.assert_array_equal(
             got[name], ref[name],
             err_msg=f"{stencil.name}: field {name!r} diverged between the "
-            "debug and compiled backends",
+            f"debug and {backend} backends",
         )
 
 

@@ -60,6 +60,33 @@ def test_cache_key_is_deterministic():
     assert k1 != cc.cache_key(_build_sdfg((5, 6, 3)))
 
 
+def test_backend_is_part_of_the_key(monkeypatch):
+    """NumPy and compiled plans for content-equal SDFGs never collide."""
+    monkeypatch.setenv("REPRO_JIT", "pyloops")
+    from repro.runtime import jit
+
+    jit.reset(engine=True)
+    try:
+        p_np = cc.get_or_compile(_build_sdfg(), backend="numpy")
+        p_c = cc.get_or_compile(_build_sdfg(), backend="compiled")
+        assert p_c is not p_np
+        assert type(p_c).__name__ == "CompiledPlan"
+        stats = cc.stats()
+        assert stats["misses"] == 2 and stats["hits"] == 0
+        assert stats["by_backend"]["numpy"]["misses"] == 1
+        assert stats["by_backend"]["compiled"]["misses"] == 1
+        # a second compiled request hits its own entry
+        assert cc.get_or_compile(_build_sdfg(), backend="compiled") is p_c
+        assert cc.stats()["by_backend"]["compiled"]["hits"] == 1
+    finally:
+        jit.reset(engine=True)
+
+
+def test_unknown_backend_raises():
+    with pytest.raises(ValueError, match="unknown compile backend"):
+        cc.get_or_compile(_build_sdfg(), backend="fortran")
+
+
 def test_disabled_cache_compiles_fresh(monkeypatch):
     monkeypatch.setenv("REPRO_COMPILE_CACHE", "0")
     p1 = cc.get_or_compile(_build_sdfg())

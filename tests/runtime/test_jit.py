@@ -1,0 +1,115 @@
+"""Unit tests for the JIT engine abstraction (repro.runtime.jit)."""
+
+import ctypes
+import os
+
+import pytest
+
+from repro.runtime import jit
+
+
+@pytest.fixture()
+def forced_engine(monkeypatch):
+    """Force an engine for one test, restoring resolution afterwards."""
+
+    def force(name):
+        monkeypatch.setenv("REPRO_JIT", name)
+        jit.reset(engine=True)
+        return jit.engine_name()
+
+    yield force
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+    jit.reset(engine=True)
+
+
+def test_engine_resolution_is_sticky(forced_engine):
+    assert forced_engine("pyloops") == "pyloops"
+    # a later env change is ignored until reset(engine=True)
+    os.environ["REPRO_JIT"] = "none"
+    try:
+        assert jit.engine_name() == "pyloops"
+    finally:
+        os.environ.pop("REPRO_JIT", None)
+        jit.reset(engine=True)
+
+
+def test_bogus_forced_engine_raises(forced_engine):
+    with pytest.raises(ValueError, match="expected one of"):
+        forced_engine("fortran")
+
+
+def test_none_engine_is_unavailable(forced_engine):
+    forced_engine("none")
+    assert not jit.available()
+
+
+def test_compile_py_pyloops_executes(forced_engine):
+    forced_engine("pyloops")
+    import numpy as np
+
+    src = (
+        "def tripler(f_x):\n"
+        "    for i in __prange(0, 3):\n"
+        "        f_x[i] = f_x[i] * 3.0\n"
+        "    return None\n"
+    )
+    fn = jit.compile_py(src, "tripler")
+    x = np.array([1.0, 2.0, 3.0])
+    fn(x)
+    assert list(x) == [3.0, 6.0, 9.0]
+
+
+def test_compile_c_roundtrip_and_disk_cache(forced_engine, tmp_path,
+                                            monkeypatch):
+    forced_engine("cgen")
+    if jit._find_cc() is None:
+        pytest.skip("no C compiler on this machine")
+    monkeypatch.setenv("REPRO_JIT_DIR", str(tmp_path))
+    jit.reset()
+    src = (
+        "#include <stdint.h>\n"
+        "void add_one(double* x, int64_t n)\n"
+        "{ for (int64_t i = 0; i < n; ++i) x[i] += 1.0; }\n"
+    )
+    lib = jit.compile_c(src)
+    import numpy as np
+
+    x = np.zeros(4)
+    fn = lib.add_one
+    fn.argtypes = [ctypes.c_void_p, ctypes.c_int64]
+    fn(x.ctypes.data, 4)
+    assert list(x) == [1.0, 1.0, 1.0, 1.0]
+    stats = jit.stats()
+    assert stats["compiles"] == 1
+    assert stats["compile_seconds"] > 0
+
+    # same source, fresh process-level state → served from disk
+    jit._LOADED.clear()
+    jit.compile_c(src)
+    assert jit.stats()["disk_hits"] == 1
+
+
+def test_compile_c_reports_compiler_errors(forced_engine, tmp_path,
+                                           monkeypatch):
+    forced_engine("cgen")
+    if jit._find_cc() is None:
+        pytest.skip("no C compiler on this machine")
+    monkeypatch.setenv("REPRO_JIT_DIR", str(tmp_path))
+    with pytest.raises(jit.JitCompileError, match="failed on generated"):
+        jit.compile_c("void broken( {")
+
+
+def test_default_threads_env(monkeypatch):
+    monkeypatch.setenv("REPRO_THREADS", "3")
+    assert jit.default_threads() == 3
+    monkeypatch.setenv("REPRO_THREADS", "0")
+    assert jit.default_threads() == 1
+
+
+def test_stats_reset(forced_engine):
+    forced_engine("pyloops")
+    jit.record_compile_seconds(0.5, count=2)
+    assert jit.stats()["compiles"] >= 2
+    jit.reset()
+    stats = jit.stats()
+    assert stats["compiles"] == 0 and stats["compile_seconds"] == 0.0

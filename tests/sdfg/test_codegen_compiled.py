@@ -1,0 +1,278 @@
+"""Unit tests for the compiled (JITted loop nest) emission target.
+
+Cross-checks the scalar lowering against both DSL backends, exercises
+the eligibility rules and their per-kernel fallback, the k-blocking
+legality analysis, statement fusion, and the plan's argument contract.
+Runs under the ``pyloops`` engine so it needs no toolchain; a separate
+test repeats the equivalence check under ``cgen`` when a C compiler
+exists.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dsl import (
+    BACKWARD,
+    FORWARD,
+    PARALLEL,
+    Field,
+    computation,
+    interval,
+    stencil,
+)
+from repro.dsl.backend_dataflow import DataflowStencilExecutor
+from repro.runtime import jit
+from repro.sdfg.codegen import compile_sdfg
+from repro.sdfg.codegen_compiled import (
+    CompiledPlan,
+    IneligibleKernel,
+    PlanBindError,
+    compile_sdfg_compiled,
+    lower_kernel,
+)
+from repro.sdfg.nodes import Kernel
+
+
+@pytest.fixture(autouse=True)
+def _pyloops_engine(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "pyloops")
+    jit.reset(engine=True)
+    yield
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+    jit.reset(engine=True)
+
+
+def _build_sdfg(stencil_obj, arrays, origin=(0, 0, 0), domain=None):
+    domain = domain or next(iter(arrays.values())).shape
+    ex = DataflowStencilExecutor(stencil_obj)
+    return ex.build_sdfg(
+        {n: a.shape for n, a in arrays.items()},
+        {n: a.dtype.type for n, a in arrays.items()},
+        origin,
+        domain,
+        None,
+    )
+
+
+def _run_both(stencil_obj, arrays, scalars=None, origin=(0, 0, 0),
+              domain=None):
+    scalars = scalars or {}
+    domain = domain or next(iter(arrays.values())).shape
+    sdfg = _build_sdfg(stencil_obj, arrays, origin, domain)
+    ref = {n: a.copy() for n, a in arrays.items()}
+    got = {n: a.copy() for n, a in arrays.items()}
+    compile_sdfg(sdfg)(arrays=ref, scalars=scalars)
+    plan = compile_sdfg_compiled(sdfg)
+    plan(arrays=got, scalars=scalars)
+    return ref, got, plan
+
+
+def _rand(shape, seed=0):
+    return np.random.default_rng(seed).random(shape)
+
+
+def _first_kernel(sdfg) -> Kernel:
+    for state in sdfg.states:
+        for node in state.nodes:
+            if isinstance(node, Kernel):
+                return node
+    raise AssertionError("no kernel")
+
+
+# ---------------------------------------------------------------------------
+# equivalence
+# ---------------------------------------------------------------------------
+
+
+@stencil
+def _lap(a: Field, out: Field, w: float):
+    with computation(PARALLEL), interval(...):
+        out = w * (a[-1, 0, 0] + a[1, 0, 0] + a[0, -1, 0] + a[0, 1, 0]
+                   - 4.0 * a)
+
+
+def test_parallel_kernel_matches_numpy_emission():
+    arrays = {"a": _rand((8, 8, 6)), "out": np.zeros((8, 8, 6))}
+    ref, got, plan = _run_both(
+        _lap, arrays, scalars={"w": 0.25}, origin=(1, 1, 0),
+        domain=(6, 6, 6),
+    )
+    assert plan.compiled_kernels and not plan.fallback_kernels
+    np.testing.assert_array_equal(got["out"], ref["out"])
+
+
+@stencil
+def _cumsum(a: Field, out: Field):
+    with computation(FORWARD):
+        with interval(0, 1):
+            out = a
+        with interval(1, None):
+            out = out[0, 0, -1] + a
+
+
+def test_forward_recurrence_matches_numpy_emission():
+    arrays = {"a": _rand((5, 4, 7)), "out": np.zeros((5, 4, 7))}
+    ref, got, plan = _run_both(_cumsum, arrays)
+    assert plan.compiled_kernels
+    np.testing.assert_array_equal(got["out"], ref["out"])
+
+
+@stencil
+def _bsweep(a: Field, out: Field):
+    with computation(BACKWARD):
+        with interval(-1, None):
+            out = a
+        with interval(0, -1):
+            out = out[0, 0, 1] * 0.5 + a
+
+
+def test_backward_recurrence_matches_numpy_emission():
+    arrays = {"a": _rand((5, 4, 7)), "out": np.zeros((5, 4, 7))}
+    ref, got, _ = _run_both(_bsweep, arrays)
+    np.testing.assert_array_equal(got["out"], ref["out"])
+
+
+@pytest.mark.skipif(jit._find_cc() is None, reason="no C compiler")
+def test_cgen_engine_matches_numpy_emission(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_JIT", "cgen")
+    monkeypatch.setenv("REPRO_JIT_DIR", str(tmp_path))
+    jit.reset(engine=True)
+    arrays = {"a": _rand((8, 8, 6)), "out": np.zeros((8, 8, 6))}
+    ref, got, plan = _run_both(
+        _lap, arrays, scalars={"w": 0.25}, origin=(1, 1, 0),
+        domain=(6, 6, 6),
+    )
+    assert plan.engine == "cgen"
+    np.testing.assert_array_equal(got["out"], ref["out"])
+
+
+# ---------------------------------------------------------------------------
+# eligibility + fallback
+# ---------------------------------------------------------------------------
+
+
+@stencil
+def _logged(a: Field, out: Field):
+    with computation(PARALLEL), interval(...):
+        out = log(a)  # noqa: F821 - DSL builtin
+
+
+def test_transcendental_kernel_falls_back_within_the_plan():
+    arrays = {"a": 1.0 + _rand((4, 4, 3)), "out": np.zeros((4, 4, 3))}
+    ref, got, plan = _run_both(_logged, arrays)
+    assert plan.compiled_kernels == []
+    assert plan.fallback_kernels
+    assert "bit-exact scalar form" in plan.fallback_kernels[0][1]
+    np.testing.assert_array_equal(got["out"], ref["out"])
+
+
+def test_parallel_self_read_at_offset_is_ineligible():
+    @stencil
+    def shift(a: Field):
+        with computation(PARALLEL), interval(...):
+            a = a[1, 0, 0]
+
+    arrays = {"a": _rand((5, 4, 3))}
+    sdfg = _build_sdfg(shift, arrays, domain=(4, 4, 3))
+    kernel = _first_kernel(sdfg)
+    with pytest.raises(IneligibleKernel, match="reads itself"):
+        lower_kernel(kernel, sdfg, "k0", threads=1)
+
+
+# ---------------------------------------------------------------------------
+# k-blocking legality + fusion
+# ---------------------------------------------------------------------------
+
+
+def test_upward_cross_statement_read_forces_full_k():
+    @stencil
+    def updown(a: Field, t: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            t = a * 2.0
+            out = t[0, 0, 1]
+
+    arrays = {
+        "a": _rand((4, 4, 6)), "t": np.zeros((4, 4, 6)),
+        "out": np.zeros((4, 4, 6)),
+    }
+    sdfg = _build_sdfg(updown, arrays, domain=(4, 4, 5))
+    unit = lower_kernel(_first_kernel(sdfg), sdfg, "k0", threads=1)
+    assert unit.full_k
+
+    ref = {n: a.copy() for n, a in arrays.items()}
+    got = {n: a.copy() for n, a in arrays.items()}
+    compile_sdfg(sdfg)(arrays=ref, scalars={})
+    compile_sdfg_compiled(sdfg)(arrays=got, scalars={})
+    np.testing.assert_array_equal(got["out"], ref["out"])
+
+
+def test_pointwise_chain_is_fused_into_one_loop_nest():
+    @stencil
+    def chain(a: Field, t: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            t = a * 2.0
+            out = t + 1.0
+
+    arrays = {
+        "a": _rand((4, 4, 3)), "t": np.zeros((4, 4, 3)),
+        "out": np.zeros((4, 4, 3)),
+    }
+    sdfg = _build_sdfg(chain, arrays)
+    unit = lower_kernel(_first_kernel(sdfg), sdfg, "k0", threads=1)
+    # both statements share one loop nest: a single i-loop in the source
+    assert unit.py_source.count("for i in __prange") == 1
+
+
+def test_offset_read_of_written_name_splits_the_cluster():
+    @stencil
+    def stag(a: Field, t: Field, out: Field):
+        with computation(PARALLEL), interval(...):
+            t = a * 2.0
+            out = t[1, 0, 0] + t[-1, 0, 0]
+
+    arrays = {
+        "a": _rand((6, 4, 3)), "t": np.zeros((6, 4, 3)),
+        "out": np.zeros((6, 4, 3)),
+    }
+    sdfg = _build_sdfg(stag, arrays, origin=(1, 0, 0), domain=(4, 4, 3))
+    unit = lower_kernel(_first_kernel(sdfg), sdfg, "k0", threads=1)
+    assert unit.py_source.count("for i in __prange") == 2
+
+    ref = {n: a.copy() for n, a in arrays.items()}
+    got = {n: a.copy() for n, a in arrays.items()}
+    compile_sdfg(sdfg)(arrays=ref, scalars={})
+    compile_sdfg_compiled(sdfg)(arrays=got, scalars={})
+    np.testing.assert_array_equal(got["out"], ref["out"])
+
+
+# ---------------------------------------------------------------------------
+# plan contract
+# ---------------------------------------------------------------------------
+
+
+def test_mismatched_array_raises_plan_bind_error():
+    arrays = {"a": _rand((4, 4, 3)), "out": np.zeros((4, 4, 3))}
+    sdfg = _build_sdfg(_lap, arrays, origin=(1, 1, 0), domain=(2, 2, 3))
+    plan = compile_sdfg_compiled(sdfg)
+    bad = {"a": np.zeros((4, 4, 4)), "out": np.zeros((4, 4, 3))}
+    with pytest.raises(PlanBindError, match="does not match"):
+        plan(arrays=bad, scalars={"w": 1.0})
+
+
+def test_instrumented_plan_records_kernel_times():
+    arrays = {"a": _rand((4, 4, 3)), "out": np.zeros((4, 4, 3))}
+    sdfg = _build_sdfg(_lap, arrays, origin=(1, 1, 0), domain=(2, 2, 3))
+    plan = compile_sdfg_compiled(sdfg, instrument=True)
+    plan(arrays=arrays, scalars={"w": 1.0})
+    assert plan.kernel_times
+    (total, count), = plan.kernel_times.values()
+    assert count == 1 and total >= 0.0
+
+
+def test_unavailable_engine_raises(monkeypatch):
+    monkeypatch.setenv("REPRO_JIT", "none")
+    jit.reset(engine=True)
+    arrays = {"a": _rand((4, 4, 3)), "out": np.zeros((4, 4, 3))}
+    sdfg = _build_sdfg(_lap, arrays, origin=(1, 1, 0), domain=(2, 2, 3))
+    with pytest.raises(jit.JitUnavailableError):
+        compile_sdfg_compiled(sdfg)
