@@ -41,6 +41,7 @@ def to_json(tracer: Optional[Tracer] = None, indent: Optional[int] = 2) -> str:
         "runtime": _runtime_summary(),
         "ensemble": _ensemble_summary(),
         "resilience": _resilience_summary(),
+        "serving": _serving_summary(),
     }
     return json.dumps(payload, indent=indent)
 
@@ -118,6 +119,7 @@ def report(
     lines.extend(_runtime_lines())
     lines.extend(_ensemble_lines())
     lines.extend(_resilience_lines())
+    lines.extend(_serving_lines())
     return "\n".join(lines)
 
 
@@ -201,6 +203,52 @@ def _ensemble_summary() -> Dict[str, object]:
     from repro.run import metrics
 
     return metrics.summary()
+
+
+def _serving_summary() -> Optional[Dict[str, object]]:
+    # lazy + tolerant: the report must stay renderable in a process
+    # that never imported the serving layer
+    import sys
+
+    serve = sys.modules.get("repro.serve")
+    if serve is None:
+        return None
+    return serve.serving_summary()
+
+
+def _serving_lines() -> List[str]:
+    """Footer summarizing forecast serving, shown once any
+    :class:`~repro.serve.ForecastService` has handled a request."""
+    sv = _serving_summary()
+    if not sv:
+        return []
+
+    def ms(value) -> str:
+        return f"{1e3 * value:.1f}ms" if value is not None else "n/a"
+
+    lines = [
+        f"serving: {sv['submitted']} submitted, "
+        f"{sv['completed']} completed, {sv['shed']} shed, "
+        f"{sv['deadline_exceeded']} deadline-exceeded, "
+        f"{sv['cancelled']} cancelled, {sv['failed']} failed; "
+        f"latency p50 {ms(sv['latency']['p50'])} / "
+        f"p99 {ms(sv['latency']['p99'])}, "
+        f"queue wait p50 {ms(sv['queue_wait']['p50'])}"
+    ]
+    cache = sv["cache"]
+    ratio = cache.get("hit_ratio")
+    ratio_cell = f"{100 * ratio:.0f}%" if ratio is not None else "n/a"
+    lines.append(
+        f"serving slo: {sv['retries']} retries, "
+        f"{sv['degraded']} degraded, "
+        f"breaker {sv['breakers']['trips']} trips / "
+        f"{sv['breakers']['probes']} probes / "
+        f"{sv['breakers']['recoveries']} recoveries; "
+        f"cache {cache['hits']} hits / {cache['warm_hits']} warm / "
+        f"{cache['misses']} misses (hit ratio {ratio_cell}), "
+        f"{sv['steps_saved']} steps saved"
+    )
+    return lines
 
 
 def _resilience_lines() -> List[str]:

@@ -41,6 +41,7 @@ from repro.resilience.checkpoint import (
 )
 from repro.resilience.errors import (
     ChaosSpecError,
+    CheckpointCorruptError,
     CheckpointError,
     FallbackWarning,
     GuardError,
@@ -59,6 +60,7 @@ __all__ = [
     "CHECKPOINT_VERSION",
     "ChaosPlan",
     "ChaosSpecError",
+    "CheckpointCorruptError",
     "CheckpointError",
     "FallbackWarning",
     "GuardConfig",

@@ -121,6 +121,8 @@ class ChaosRule:
 
 def _parse_clause(clause: str) -> Tuple[str, ChaosRule]:
     clause = clause.strip()
+    if ("@" in clause or ":" in clause) and not clause.split("@")[0].split(":")[0].strip():
+        raise ChaosSpecError(f"bad clause {clause!r}: empty site name")
     if "@" in clause:
         site, _, spec = clause.partition("@")
         site = site.strip()

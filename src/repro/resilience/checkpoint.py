@@ -20,11 +20,13 @@ from __future__ import annotations
 import dataclasses
 import json
 import pathlib
+import zipfile
+import zlib
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.resilience.errors import CheckpointError
+from repro.resilience.errors import CheckpointCorruptError, CheckpointError
 
 __all__ = [
     "CHECKPOINT_VERSION",
@@ -121,19 +123,43 @@ def save_checkpoint(
     return path
 
 
+#: low-level failures a truncated/garbled ``.npz`` surfaces as
+_CORRUPT_EXCS = (
+    zipfile.BadZipFile, zlib.error, OSError, EOFError, ValueError, KeyError,
+)
+
+
+def _open_npz(path):
+    """``np.load`` with damage reported as :class:`CheckpointCorruptError`
+    (a missing file stays a plain ``FileNotFoundError``)."""
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except _CORRUPT_EXCS as exc:
+        raise CheckpointCorruptError(
+            path, f"unreadable npz archive ({type(exc).__name__}: {exc})"
+        ) from exc
+
+
 def checkpoint_meta(path) -> Dict[str, object]:
     """The metadata header of a checkpoint file (version-checked)."""
-    with np.load(pathlib.Path(path)) as data:
+    with _open_npz(pathlib.Path(path)) as data:
         return _read_meta(data, path)
 
 
 def _read_meta(data, path) -> Dict[str, object]:
     if "__meta__" not in data:
-        raise CheckpointError(f"{path}: not a repro checkpoint (no header)")
+        raise CheckpointCorruptError(
+            path, "not a repro checkpoint (no header)",
+            extra_keys=sorted(data.files),
+        )
     try:
         meta = json.loads(bytes(data["__meta__"]).decode())
-    except (ValueError, UnicodeDecodeError) as exc:
-        raise CheckpointError(f"{path}: corrupt header: {exc}") from exc
+    except _CORRUPT_EXCS + (UnicodeDecodeError,) as exc:
+        raise CheckpointCorruptError(
+            path, f"corrupt header: {exc}"
+        ) from exc
     version = meta.get("version")
     if version != CHECKPOINT_VERSION:
         raise CheckpointError(
@@ -141,6 +167,14 @@ def _read_meta(data, path) -> Dict[str, object]:
             f"supported (this build reads version {CHECKPOINT_VERSION})"
         )
     return meta
+
+
+def _expected_keys(n_ranks: int, n_tracers: int) -> List[str]:
+    keys = []
+    for r in range(n_ranks):
+        keys.extend(f"r{r}_{name}" for name in STATE_FIELDS)
+        keys.extend(f"r{r}_tracer{t}" for t in range(n_tracers))
+    return keys
 
 
 def load_checkpoint(path, states: Sequence) -> Dict[str, object]:
@@ -151,33 +185,57 @@ def load_checkpoint(path, states: Sequence) -> Dict[str, object]:
     caller to adopt).
     """
     path = pathlib.Path(path)
-    with np.load(path) as data:
+    with _open_npz(path) as data:
         meta = _read_meta(data, path)
         if meta["n_ranks"] != len(states):
             raise CheckpointError(
                 f"{path}: checkpoint has {meta['n_ranks']} ranks, "
                 f"model has {len(states)}"
             )
-        # validate everything up front: a restore is all-or-nothing
         for r, state in enumerate(states):
             if len(state.tracers) != meta["n_tracers"]:
                 raise CheckpointError(
                     f"{path}: checkpoint has {meta['n_tracers']} tracers, "
                     f"rank {r} has {len(state.tracers)}"
                 )
+        # schema check: the file must hold exactly the arrays the model
+        # expects — report the full delta, not the first KeyError
+        expected = _expected_keys(len(states), int(meta["n_tracers"]))
+        actual = set(data.files) - {"__meta__"}
+        missing = [k for k in expected if k not in actual]
+        extra = sorted(actual - set(expected))
+        if missing or extra:
+            raise CheckpointCorruptError(
+                path, "checkpoint schema does not match the model",
+                missing_keys=missing, extra_keys=extra,
+                version=meta.get("version"),
+            )
+        # validate everything up front: a restore is all-or-nothing.
+        # Arrays are decompressed here, so a truncated member surfaces
+        # as CheckpointCorruptError before any state is touched.
+        loaded: Dict[str, np.ndarray] = {}
+        try:
+            for key in expected:
+                loaded[key] = data[key]
+        except _CORRUPT_EXCS as exc:
+            raise CheckpointCorruptError(
+                path,
+                f"truncated array data at {key!r} "
+                f"({type(exc).__name__}: {exc})",
+                version=meta.get("version"),
+            ) from exc
+        for r, state in enumerate(states):
             for name in STATE_FIELDS:
                 key = f"r{r}_{name}"
-                if key not in data:
-                    raise CheckpointError(f"{path}: missing array {key!r}")
-                if data[key].shape != getattr(state, name).shape:
+                if loaded[key].shape != getattr(state, name).shape:
                     raise CheckpointError(
-                        f"{path}: array {key!r} shape {data[key].shape} "
+                        f"{path}: array {key!r} shape {loaded[key].shape} "
                         f"does not match model shape "
                         f"{getattr(state, name).shape}"
                     )
         for r, state in enumerate(states):
             for name in STATE_FIELDS:
-                np.copyto(getattr(state, name), data[f"r{r}_{name}"])
+                np.copyto(getattr(state, name), loaded[f"r{r}_{name}"])
             for t in range(meta["n_tracers"]):
-                np.copyto(state.tracers[t], data[f"r{r}_tracer{t}"])
+                np.copyto(state.tracers[t], loaded[f"r{r}_tracer{t}"])
     return meta

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Tuple
 
 __all__ = [
+    "CheckpointCorruptError",
     "CheckpointError",
     "ChaosSpecError",
     "FallbackWarning",
@@ -138,6 +139,49 @@ class RetriesExhaustedError(ResilienceError):
 
 class CheckpointError(ResilienceError):
     """A checkpoint file is unreadable, incompatible or version-skewed."""
+
+
+class CheckpointCorruptError(CheckpointError):
+    """A checkpoint file exists but its contents are damaged or do not
+    match the schema the receiving model expects.
+
+    Raised instead of the raw ``zipfile.BadZipFile`` / ``KeyError`` /
+    ``OSError`` a truncated or hand-edited ``.npz`` would otherwise
+    leak. Carries the offending path, the schema delta (arrays the
+    model expected but the file lacks, and arrays the file holds that
+    the model does not know), and the format version found (``None``
+    when the header itself is unreadable).
+    """
+
+    def __init__(
+        self,
+        path,
+        reason: str,
+        missing_keys: Sequence[str] = (),
+        extra_keys: Sequence[str] = (),
+        version: Optional[int] = None,
+    ):
+        self.path = str(path)
+        self.reason = reason
+        self.missing_keys = list(missing_keys)
+        self.extra_keys = list(extra_keys)
+        self.version = version
+        msg = f"{self.path}: {reason}"
+        if self.missing_keys:
+            shown = ", ".join(self.missing_keys[:6])
+            more = len(self.missing_keys) - 6
+            if more > 0:
+                shown += f", … {more} more"
+            msg += f"; missing arrays: {shown}"
+        if self.extra_keys:
+            shown = ", ".join(self.extra_keys[:6])
+            more = len(self.extra_keys) - 6
+            if more > 0:
+                shown += f", … {more} more"
+            msg += f"; unexpected arrays: {shown}"
+        if version is not None:
+            msg += f" (format version {version})"
+        super().__init__(msg)
 
 
 class FallbackWarning(RuntimeWarning):

@@ -45,7 +45,7 @@ from repro.fv3.grid import CubedSphereGrid
 from repro.fv3.initial import RankFields
 from repro.fv3.partitioner import CubedSpherePartitioner
 from repro.obs import tracer as _obs
-from repro.resilience import ResilienceConfig, load_checkpoint, \
+from repro.resilience import ResilienceConfig, Snapshot, load_checkpoint, \
     save_checkpoint
 from repro.run import metrics as _metrics
 from repro.run.results import MemberResult, RunResult
@@ -64,6 +64,10 @@ _EXECUTOR_NAMES = ("sequential", "threads")
 
 #: the swapped per-member prognostic fields (tracers handled separately)
 _STATE_FIELDS = ("u", "v", "w", "pt", "delp", "delz")
+
+#: sentinel distinguishing "no rng argument" from an explicit ``None``
+#: (None is meaningful: it requests the unperturbed control state)
+_UNSET_RNG = object()
 
 
 def resolve_executor(
@@ -195,6 +199,19 @@ def _copy_states(src: Sequence[RankFields], dst: Sequence[RankFields]):
             np.copyto(td, ts)
 
 
+def _states_from_snapshot(snapshot) -> List[RankFields]:
+    """Materialize fresh per-rank :class:`RankFields` from an in-memory
+    :class:`~repro.resilience.Snapshot` (used by the serving layer's
+    checkpoint-warmed cache — no scenario builder math is re-run)."""
+    return [
+        RankFields(
+            **{name: arr.copy() for name, arr in fields.items()},
+            tracers=[t.copy() for t in tracers],
+        )
+        for fields, tracers in zip(snapshot.arrays, snapshot.tracers)
+    ]
+
+
 class EnsembleDriver:
     """N members of one scenario batched through one engine core.
 
@@ -205,6 +222,12 @@ class EnsembleDriver:
     Stepping is *step-major*: every member advances step s before any
     member starts s+1, so all members flow through the engine's hot
     compiled programs and pooled buffers together.
+
+    Membership is dynamic: :meth:`add_member` / :meth:`remove_member`
+    let a long-lived driver (the serving layer keeps one warm per
+    scenario+config) swap request states through the already-compiled
+    engine without paying geometry or compilation again. Pass a warm
+    ``engine=`` to adopt an existing core instead of building one.
     """
 
     def __init__(
@@ -220,6 +243,7 @@ class EnsembleDriver:
         comm_latency: Optional[float] = None,
         max_polls: Optional[int] = None,
         diagnostics: bool = True,
+        engine=None,
     ):
         self.scenario = get_scenario(scenario)
         self.config = (
@@ -228,61 +252,132 @@ class EnsembleDriver:
         if isinstance(members, (int, np.integer)):
             if members < 1:
                 raise ValueError("members must be >= 1")
-            self.member_ids: Tuple[int, ...] = tuple(range(int(members)))
+            member_ids: Tuple[int, ...] = tuple(range(int(members)))
         else:
-            self.member_ids = tuple(int(m) for m in members)
-            if not self.member_ids:
+            member_ids = tuple(int(m) for m in members)
+            if not member_ids and engine is None:
                 raise ValueError("members sequence must not be empty")
-            if len(set(self.member_ids)) != len(self.member_ids):
+            if len(set(member_ids)) != len(member_ids):
                 raise ValueError("duplicate member ids")
         self.seed = int(seed)
         self.diagnostics = diagnostics
-        self.executor, self._owns_executor = resolve_executor(
-            executor, workers, self.config.total_ranks
-        )
-        # one engine core: its compiled stencil suite serves every member
-        with _TRACER.span("ensemble.build_engine"):
-            self.engine = build_core(
-                self.scenario,
-                self.config,
-                member=0,
-                seed=self.seed,
-                executor=self.executor,
-                resilience=resilience,
-                comm_latency=comm_latency,
-                max_polls=max_polls,
+        self._base_resilience = resilience
+        if engine is not None:
+            # adopt a warm core: geometry + compiled suite already paid
+            if engine.config != self.config:
+                raise ValueError(
+                    "warm engine was built for a different config "
+                    f"({engine.config} != {self.config})"
+                )
+            self.engine = engine
+            self.executor = engine.executor
+            self._owns_executor = False
+        else:
+            self.executor, self._owns_executor = resolve_executor(
+                executor, workers, self.config.total_ranks
             )
+            # one engine core: its compiled suite serves every member
+            with _TRACER.span("ensemble.build_engine"):
+                self.engine = build_core(
+                    self.scenario,
+                    self.config,
+                    member=0,
+                    seed=self.seed,
+                    executor=self.executor,
+                    resilience=resilience,
+                    comm_latency=comm_latency,
+                    max_polls=max_polls,
+                )
         self._grid_builds = len(self.engine.grids)
         self._grid_builds_avoided = (
-            (len(self.member_ids) - 1) * self._grid_builds
+            max(0, len(member_ids) - 1) * self._grid_builds
         )
-        # member states: the control reuses the engine's freshly built
-        # initial state; perturbed members build their own
         self.members: Dict[int, _Member] = {}
-        for m in self.member_ids:
-            with _TRACER.span(f"ensemble.build[{m}]"):
-                rng = member_rng(self.seed, m)
+        self.history: Dict[int, List[Dict[str, float]]] = {}
+        for m in member_ids:
+            self.add_member(m)
+        self.steps_taken = 0
+
+    @property
+    def member_ids(self) -> Tuple[int, ...]:
+        """Current member ids, in insertion order."""
+        return tuple(self.members)
+
+    # ------------------------------------------------------------------
+    # dynamic membership (the serving layer's request slots)
+    # ------------------------------------------------------------------
+    def add_member(
+        self,
+        member: int,
+        *,
+        snapshot=None,
+        rng=_UNSET_RNG,
+        mass0: Optional[float] = None,
+        tracer0: Optional[float] = None,
+    ) -> None:
+        """Install one member: built fresh from the scenario (seeded by
+        this driver's root seed), or — with ``snapshot=`` — materialized
+        from a captured :class:`~repro.resilience.Snapshot`, adopting
+        its time/step and skipping the builder entirely (pass the
+        original run's ``mass0``/``tracer0`` so conservation drift stays
+        anchored to the true initial state).
+
+        ``rng`` overrides the perturbation stream (None = unperturbed
+        control). The serving layer uses this to install request states
+        under service-assigned slot ids while keeping the state a pure
+        function of the *request's* (seed, member) — the slot id never
+        feeds the numerics."""
+        member = int(member)
+        if member in self.members:
+            raise ValueError(f"member {member} already loaded")
+        with _TRACER.span(f"ensemble.build[{member}]"):
+            if snapshot is not None:
+                states = _states_from_snapshot(snapshot)
+                time0, step0 = snapshot.time, snapshot.step
+            else:
+                if rng is _UNSET_RNG:
+                    rng = member_rng(self.seed, member)
                 states = [
                     self.scenario.build_state(grid, self.config, rng)
                     for grid in self.engine.grids
                 ]
-                self.members[m] = _Member(
-                    member=m,
-                    states=states,
-                    resilience=_member_resilience(resilience, m),
-                )
+                time0, step0 = 0.0, 0
+            self.members[member] = _Member(
+                member=member,
+                states=states,
+                resilience=_member_resilience(self._base_resilience, member),
+                time=time0,
+                step_count=step0,
+            )
         # conservation baselines for the driver-level reference checks
-        for m in self.member_ids:
-            self._activate(m)
-            self.members[m].mass0 = self.engine.global_integral("delp")
-            self.members[m].tracer0 = (
+        rec = self._activate(member)
+        rec.mass0 = (
+            mass0 if mass0 is not None
+            else self.engine.global_integral("delp")
+        )
+        if tracer0 is not None:
+            rec.tracer0 = tracer0
+        else:
+            rec.tracer0 = (
                 self.engine.tracer_integral(0)
                 if self.config.n_tracers else None
             )
-        self.history: Dict[int, List[Dict[str, float]]] = {
-            m: [] for m in self.member_ids
-        }
-        self.steps_taken = 0
+        self.history[member] = []
+
+    def remove_member(self, member: int) -> _Member:
+        """Drop one member (its arrays become collectible); returns the
+        removed record so a caller may still snapshot it."""
+        self.history.pop(member, None)
+        try:
+            return self.members.pop(member)
+        except KeyError:
+            raise KeyError(f"no member {member} loaded") from None
+
+    def snapshot_member(self, member: int) -> Snapshot:
+        """A bit-exact in-memory snapshot of one member's canonical
+        state (independent of the engine's working copy)."""
+        rec = self.members[member]
+        return Snapshot.capture(rec.states, rec.time, rec.step_count)
 
     # ------------------------------------------------------------------
     # state swap
@@ -308,14 +403,41 @@ class EnsembleDriver:
         """Advance every member ``n`` physics steps, step-major."""
         for _ in range(n):
             with _TRACER.span("ensemble.step"):
-                for m in self.member_ids:
-                    with _TRACER.span(f"member[{m}]"):
-                        self._activate(m)
-                        self.engine.step_dynamics()
-                        if self.diagnostics:
-                            self.history[m].append(self._diagnose(m))
-                        self._store(m)
+                self.step_selected(self.member_ids)
             self.steps_taken += 1
+
+    def step_selected(self, members: Sequence[int], n: int = 1) -> None:
+        """Advance only ``members`` by ``n`` steps, step-major.
+
+        The serving layer batches requests with different lead times
+        through one warm driver: each sweep advances exactly the
+        requests that still have steps left (finished or cancelled ones
+        drop out), without touching the driver-global ``steps_taken``
+        that the classic whole-ensemble path reports."""
+        for _ in range(n):
+            for m in members:
+                with _TRACER.span(f"member[{m}]"):
+                    self._activate(m)
+                    self.engine.step_dynamics()
+                    if self.diagnostics:
+                        self.history[m].append(self._diagnose(m))
+                    self._store(m)
+
+    def member_report(self, member: int) -> Dict[str, object]:
+        """One member's current summary + conservation drift (loads the
+        member into the engine; used by the serving response path)."""
+        rec = self._activate(member)
+        report: Dict[str, object] = {
+            "member": member,
+            "step": rec.step_count,
+            "time": rec.time,
+            "summary": dict(self.engine.state_summary()),
+            "mass_drift": self._mass_drift_loaded(member),
+        }
+        drift = self._tracer_drift_loaded(member)
+        if drift is not None:
+            report["tracer_drift"] = drift
+        return report
 
     def _diagnose(self, member: int) -> Dict[str, float]:
         """Summarize the loaded member from the engine's state."""

@@ -1,8 +1,19 @@
-"""Structured results of a facade run: per-member and ensemble views."""
+"""Structured results of a facade run: per-member and ensemble views.
+
+Both result types serialize to JSON (``to_json``/``from_json``) for the
+serving layer's response path: every scalar field round-trips exactly
+(Python's JSON float encoding is ``repr``-based, so ``float`` values
+survive bit-identically). The two object-graph fields do **not**
+serialize — ``MemberResult.states`` (raw prognostic arrays; persist
+those with :func:`repro.resilience.save_checkpoint`) and
+``RunResult.engine`` (the live core) — a deserialized result carries
+``states=[]`` / ``engine=None``.
+"""
 
 from __future__ import annotations
 
 import dataclasses
+import json
 from typing import Dict, List, Optional
 
 __all__ = ["MemberResult", "RunResult"]
@@ -32,6 +43,41 @@ class MemberResult:
     def ok(self) -> bool:
         return not self.check_violations
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able view (``states`` are not serialized)."""
+        return {
+            "member": self.member,
+            "steps": self.steps,
+            "summary": dict(self.summary),
+            "mass_drift": self.mass_drift,
+            "tracer_drift": self.tracer_drift,
+            "check_violations": list(self.check_violations),
+            "history": [dict(h) for h in self.history],
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "MemberResult":
+        return cls(
+            member=int(data["member"]),
+            steps=int(data["steps"]),
+            summary=dict(data["summary"]),
+            mass_drift=float(data["mass_drift"]),
+            tracer_drift=(
+                None if data.get("tracer_drift") is None
+                else float(data["tracer_drift"])
+            ),
+            check_violations=list(data.get("check_violations", [])),
+            history=[dict(h) for h in data.get("history", [])],
+            states=[],
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "MemberResult":
+        return cls.from_dict(json.loads(text))
+
 
 @dataclasses.dataclass
 class RunResult:
@@ -60,6 +106,57 @@ class RunResult:
             if m.member == member_id:
                 return m
         raise KeyError(f"no member {member_id} in this run")
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-able view (``engine`` and member states not serialized).
+
+        ``config`` serializes as its dataclass field dict when it is a
+        :class:`~repro.fv3.config.DynamicalCoreConfig` (the facade always
+        sets one), or passes through unchanged if already a plain dict.
+        """
+        config = self.config
+        if dataclasses.is_dataclass(config) and not isinstance(config, type):
+            config = dataclasses.asdict(config)
+        return {
+            "scenario": self.scenario,
+            "config": config,
+            "steps": self.steps,
+            "seed": self.seed,
+            "members": [m.to_dict() for m in self.members],
+            "seconds": self.seconds,
+            "executor": self.executor,
+            "amortization": dict(self.amortization),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "RunResult":
+        config = data.get("config")
+        if isinstance(config, dict):
+            # rebuild the real config type so round-tripped results
+            # compare equal to the originals field by field
+            from repro.fv3.config import DynamicalCoreConfig
+
+            config = DynamicalCoreConfig(**config)
+        return cls(
+            scenario=str(data["scenario"]),
+            config=config,
+            steps=int(data["steps"]),
+            seed=int(data["seed"]),
+            members=[
+                MemberResult.from_dict(m) for m in data.get("members", [])
+            ],
+            seconds=float(data["seconds"]),
+            executor=str(data["executor"]),
+            amortization=dict(data.get("amortization", {})),
+            engine=None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RunResult":
+        return cls.from_dict(json.loads(text))
 
     @property
     def ok(self) -> bool:

@@ -38,9 +38,11 @@ import subprocess
 import tempfile
 import threading
 import time
+import warnings
 from typing import Dict, List, Optional
 
 __all__ = [
+    "JitCacheWarning",
     "JitUnavailableError",
     "JitCompileError",
     "engine_name",
@@ -62,8 +64,33 @@ _OPENMP: Optional[bool] = None
 _COMPILES = 0
 _COMPILE_SECONDS = 0.0
 _DISK_HITS = 0
+_CACHE_REPAIRS = 0
+_WARNED_CORRUPT = False
 #: pins loaded shared libraries (and numba dispatchers) for the process
 _LOADED: Dict[str, object] = {}
+
+
+class JitCacheWarning(RuntimeWarning):
+    """A cached shared object under ``REPRO_JIT_DIR`` was damaged and
+    has been rebuilt in place."""
+
+
+def _warn_corrupt_cache(sopath: str, exc: BaseException) -> None:
+    """Count a cache repair; warn only once per process (a shared cache
+    directory full of stale objects would otherwise spam every run)."""
+    global _CACHE_REPAIRS, _WARNED_CORRUPT
+    with _LOCK:
+        _CACHE_REPAIRS += 1
+        first = not _WARNED_CORRUPT
+        _WARNED_CORRUPT = True
+    if first:
+        warnings.warn(
+            f"corrupt JIT disk-cache entry {sopath!r} "
+            f"({type(exc).__name__}: {exc}); rebuilding in place — "
+            f"further repairs this process will be silent",
+            JitCacheWarning,
+            stacklevel=3,
+        )
 
 
 class JitUnavailableError(RuntimeError):
@@ -198,7 +225,23 @@ def compile_c(source: str, want_openmp: bool = False) -> ctypes.CDLL:
     sopath = os.path.join(jit_dir(), f"repro_{key}.so")
     if key in _LOADED:
         return _LOADED[key]  # type: ignore[return-value]
-    if not os.path.exists(sopath):
+    lib: Optional[ctypes.CDLL] = None
+    if os.path.exists(sopath):
+        # a cached object may be damaged (truncated write from a killed
+        # process, disk corruption): self-heal by rebuilding in place
+        # rather than wedging every process that shares the cache
+        try:
+            lib = ctypes.CDLL(sopath)
+        except OSError as exc:
+            _warn_corrupt_cache(sopath, exc)
+            try:
+                os.unlink(sopath)
+            except OSError:
+                pass
+        else:
+            with _LOCK:
+                _DISK_HITS += 1
+    if lib is None:
         t0 = time.perf_counter()
         cpath = os.path.join(jit_dir(), f"repro_{key}.c")
         tmpso = sopath + f".tmp{os.getpid()}"
@@ -216,10 +259,7 @@ def compile_c(source: str, want_openmp: bool = False) -> ctypes.CDLL:
         with _LOCK:
             _COMPILES += 1
             _COMPILE_SECONDS += time.perf_counter() - t0
-    else:
-        with _LOCK:
-            _DISK_HITS += 1
-    lib = ctypes.CDLL(sopath)
+        lib = ctypes.CDLL(sopath)
     _LOADED[key] = lib
     return lib
 
@@ -292,17 +332,21 @@ def stats() -> Dict[str, object]:
             "compiles": _COMPILES,
             "compile_seconds": _COMPILE_SECONDS,
             "disk_hits": _DISK_HITS,
+            "cache_repairs": _CACHE_REPAIRS,
         }
 
 
 def reset(engine: bool = False) -> None:
     """Zero the counters; with ``engine=True`` also forget the resolved
     engine so the next :func:`engine_name` re-reads ``REPRO_JIT`` (tests)."""
-    global _COMPILES, _COMPILE_SECONDS, _DISK_HITS, _ENGINE, _OPENMP
+    global _COMPILES, _COMPILE_SECONDS, _DISK_HITS, _CACHE_REPAIRS, \
+        _WARNED_CORRUPT, _ENGINE, _OPENMP
     with _LOCK:
         _COMPILES = 0
         _COMPILE_SECONDS = 0.0
         _DISK_HITS = 0
+        _CACHE_REPAIRS = 0
+        _WARNED_CORRUPT = False
         if engine:
             _ENGINE = None
             _OPENMP = None

@@ -34,7 +34,7 @@ import numpy as np
 
 from repro.resilience import chaos as _chaos
 
-__all__ = ["BufferPool", "get_pool"]
+__all__ = ["BufferPool", "CancelScope", "get_pool"]
 
 _Key = Tuple[Tuple[int, ...], str]
 
@@ -47,6 +47,10 @@ class BufferPool:
         self._free: Dict[_Key, List[np.ndarray]] = {}
         self._idle_ids: set = set()
         self._lock = threading.Lock()
+        #: per-thread stack of active CancelScopes (cooperative
+        #: cancellation support for the serving layer)
+        self._tls = threading.local()
+        self.scope_reclaims = 0
         #: optional lifetime recorder ``fn(kind, buf, label=None)`` used
         #: by ``repro.lint.runtime_rules.record_buffer_events`` — one
         #: ``is not None`` predicate per checkout when inactive
@@ -79,6 +83,44 @@ class BufferPool:
     def _key(shape, dtype) -> _Key:
         return (tuple(shape), np.dtype(dtype).str)
 
+    # ------------------------------------------------------------------
+    # cooperative cancellation
+    # ------------------------------------------------------------------
+    def cancel_scope(self, label: str = "") -> "CancelScope":
+        """A context manager that returns still-live buffers checked out
+        by the **current thread** inside the scope back to the arena if
+        the scope exits with an exception.
+
+        This is the serving layer's "no wedged workers" guarantee: a
+        request cancelled (deadline exhausted, fault mid-kernel) between
+        a ``checkout`` and its matching ``release`` would otherwise leak
+        that buffer from the arena for the worker's whole lifetime. A
+        clean exit releases nothing — buffers intentionally retained
+        past the scope stay live. Only checkouts made on the entering
+        thread are tracked, so rank-executor worker threads running
+        under a parallel executor are not covered.
+        """
+        return CancelScope(self, label)
+
+    def _scope_stack(self) -> List["CancelScope"]:
+        stack = getattr(self._tls, "scopes", None)
+        if stack is None:
+            stack = self._tls.scopes = []
+        return stack
+
+    def _track(self, buf: np.ndarray) -> None:
+        stack = getattr(self._tls, "scopes", None)
+        if stack:
+            stack[-1]._live[id(buf)] = buf
+
+    def _untrack(self, buf: np.ndarray) -> None:
+        stack = getattr(self._tls, "scopes", None)
+        if stack:
+            key = id(buf)
+            for scope in reversed(stack):
+                if scope._live.pop(key, None) is not None:
+                    return
+
     def checkout(self, shape, dtype=np.float64) -> np.ndarray:
         """Return a buffer of exactly ``shape``/``dtype`` (contents
         arbitrary)."""
@@ -97,6 +139,7 @@ class BufferPool:
                     _chaos.maybe_poison(buf)
                 if self._recorder is not None:
                     self._recorder("acquire", buf, None)
+                self._track(buf)
                 return buf
         buf = np.empty(shape, dtype=dtype)
         with self._lock:
@@ -110,6 +153,7 @@ class BufferPool:
             _chaos.maybe_poison(buf)
         if self._recorder is not None:
             self._recorder("acquire", buf, None)
+        self._track(buf)
         return buf
 
     def release(self, buf: np.ndarray) -> None:
@@ -131,6 +175,7 @@ class BufferPool:
             )
         if self._recorder is not None:
             self._recorder("release", buf, None)
+        self._untrack(buf)
 
     def checkout_many(
         self, specs: Sequence[Tuple[Tuple[int, ...], np.dtype]]
@@ -152,6 +197,7 @@ class BufferPool:
             "live_bytes": self.live_bytes,
             "idle_bytes": self.idle_bytes,
             "high_water_bytes": self.high_water_bytes,
+            "scope_reclaims": self.scope_reclaims,
         }
 
     def clear(self) -> None:
@@ -160,6 +206,44 @@ class BufferPool:
             self._free.clear()
             self._idle_ids.clear()
             self.idle_bytes = 0
+
+
+class CancelScope:
+    """See :meth:`BufferPool.cancel_scope`. ``reclaimed`` (valid after
+    exit) counts the buffers returned to the arena."""
+
+    __slots__ = ("_pool", "label", "_live", "reclaimed")
+
+    def __init__(self, pool: BufferPool, label: str = ""):
+        self._pool = pool
+        self.label = label
+        self._live: Dict[int, np.ndarray] = {}
+        self.reclaimed = 0
+
+    def __enter__(self) -> "CancelScope":
+        self._pool._scope_stack().append(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        stack = self._pool._scope_stack()
+        if not stack or stack[-1] is not self:
+            raise RuntimeError("cancel scopes must exit LIFO")
+        stack.pop()
+        leftovers = list(self._live.values())
+        self._live.clear()
+        if exc_type is None:
+            # clean exit: retained buffers are the caller's business,
+            # but an enclosing scope must keep covering them
+            for buf in leftovers:
+                self._pool._track(buf)
+            return False
+        for buf in leftovers:
+            self._pool.release(buf)
+        self.reclaimed = len(leftovers)
+        if leftovers:
+            with self._pool._lock:
+                self._pool.scope_reclaims += self.reclaimed
+        return False
 
 
 _POOL: BufferPool = BufferPool(

@@ -1,0 +1,90 @@
+"""Edge cases of the ``REPRO_CHAOS`` spec grammar beyond the happy
+path: whitespace and empty-clause tolerance, seed clause malformations,
+probability boundary values, and the typed :class:`ChaosSpecError`
+contract (never a bare ``ValueError`` escaping the parser)."""
+
+import pytest
+
+from repro.resilience import ChaosPlan, ChaosSpecError
+
+
+# ---------------------------------------------------------------------------
+# tolerated sloppiness
+# ---------------------------------------------------------------------------
+
+def test_whitespace_and_empty_clauses_tolerated():
+    plan = ChaosPlan.from_spec("  seed=7 ;  halo.drop@2 ; ; pool.poison:p=0.5 ;")
+    assert plan.seed == 7
+    assert set(plan.rules) == {"halo.drop", "pool.poison"}
+    assert plan.rules["halo.drop"].at == (2,)
+
+
+def test_occurrence_list_order_is_normalized():
+    plan = ChaosPlan.from_spec("halo.drop@9,2,5")
+    assert plan.rules["halo.drop"].at == (2, 5, 9)
+
+
+def test_probability_boundaries_accepted():
+    lo = ChaosPlan.from_spec("halo.drop:p=0.0")
+    hi = ChaosPlan.from_spec("halo.drop:p=1.0")
+    assert lo.rules["halo.drop"].p == 0.0
+    assert hi.rules["halo.drop"].p == 1.0
+
+
+def test_last_seed_clause_wins():
+    plan = ChaosPlan.from_spec("seed=1;seed=9;halo.drop@1")
+    assert plan.seed == 9
+
+
+# ---------------------------------------------------------------------------
+# rejected malformations — always the typed error
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        "seed=;halo.drop@1",          # empty seed value
+        "seed=abc;halo.drop@1",       # non-integer seed
+        "seed=1.5;halo.drop@1",       # float seed
+        "halo.drop@",                 # empty occurrence spec
+        "halo.drop@1,",               # trailing comma → empty token
+        "halo.drop@-3",               # negative occurrence
+        "halo.drop@1+2+3",            # doubled period separator
+        "halo.drop@2+-1",             # negative period
+        "halo.drop:p=",               # empty probability
+        "halo.drop:p=-0.1",           # below range
+        "halo.drop:p=1e309",          # overflows to inf → out of range
+        "halo.drop:p=nan",            # nan never satisfies 0<=p<=1
+        "halo.drop:prob=0.5",         # wrong key
+        ";;;",                        # clauses but no rules
+        "@3",                         # rule with no site name
+    ],
+)
+def test_malformed_specs_raise_typed_error(bad):
+    with pytest.raises(ChaosSpecError):
+        ChaosPlan.from_spec(bad)
+
+
+def test_spec_error_is_a_value_error_subclass_or_not_leaky():
+    """Whatever the hierarchy, callers catching ChaosSpecError see every
+    parse failure — no bare ValueError escapes ``from_spec``."""
+    for bad in ("halo.drop@x", "halo.drop:p=oops", "seed=z;halo.drop@1"):
+        try:
+            ChaosPlan.from_spec(bad)
+        except ChaosSpecError:
+            pass
+        else:  # pragma: no cover - defends the test's premise
+            pytest.fail(f"{bad!r} unexpectedly parsed")
+
+
+def test_replay_spec_pins_fired_occurrences_and_reparses():
+    """``replay_spec`` renders what actually fired — feeding it back
+    through the parser yields a plan pinned to those occurrences."""
+    plan = ChaosPlan.from_spec("seed=31;halo.corrupt@2,9;pool.poison@4+6")
+    for _ in range(10):
+        plan.consult("halo.corrupt")
+        plan.consult("pool.poison")
+    again = ChaosPlan.from_spec(plan.replay_spec())
+    assert again.seed == 31
+    assert again.rules["halo.corrupt"].at == (2, 9)
+    assert again.rules["pool.poison"].at == (4, 10)

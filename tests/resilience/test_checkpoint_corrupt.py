@@ -1,0 +1,146 @@
+"""Corrupt on-disk checkpoints surface as typed
+:class:`CheckpointCorruptError` — path, reason and the exact key delta —
+never as a leaked ``zipfile.BadZipFile``/``KeyError``, and never with a
+partially overwritten model state."""
+
+import zipfile
+
+import numpy as np
+import pytest
+
+from repro.fv3.config import DynamicalCoreConfig
+from repro.fv3.dyncore import DynamicalCore
+from repro.resilience import CheckpointCorruptError, CheckpointError
+from repro.resilience.checkpoint import (
+    CHECKPOINT_VERSION,
+    load_checkpoint,
+    save_checkpoint,
+)
+
+CFG = DynamicalCoreConfig(
+    npx=12, npz=4, layout=1, dt_atmos=120.0, k_split=1, n_split=1,
+    n_tracers=1,
+)
+
+
+@pytest.fixture
+def saved(tmp_path):
+    core = DynamicalCore(CFG)
+    path = tmp_path / "ckpt.npz"
+    save_checkpoint(path, core.states, 120.0, 1)
+    return core, path
+
+
+def _state_vector(core):
+    return [
+        np.concatenate(
+            [getattr(s, f).ravel() for f in ("u", "v", "w", "pt", "delp",
+                                             "delz")]
+            + [t.ravel() for t in s.tracers]
+        )
+        for s in core.states
+    ]
+
+
+def _repack_without(path, *drop):
+    """Rewrite the npz without the named members."""
+    with zipfile.ZipFile(path) as zf:
+        members = {
+            name: zf.read(name) for name in zf.namelist()
+            if name.rsplit(".", 1)[0] not in drop
+        }
+    with zipfile.ZipFile(path, "w") as zf:
+        for name, blob in members.items():
+            zf.writestr(name, blob)
+
+
+def test_truncated_file_is_typed(saved):
+    core, path = saved
+    blob = path.read_bytes()
+    path.write_bytes(blob[: len(blob) // 2])
+    with pytest.raises(CheckpointCorruptError) as exc_info:
+        load_checkpoint(path, core.states)
+    assert str(path) in str(exc_info.value)
+    assert exc_info.value.path == str(path)
+
+
+def test_garbage_bytes_are_typed(saved):
+    core, path = saved
+    path.write_bytes(b"this was never a zip archive")
+    with pytest.raises(CheckpointCorruptError):
+        load_checkpoint(path, core.states)
+
+
+def test_missing_array_reported_by_name(saved):
+    core, path = saved
+    _repack_without(path, "r2_delp")
+    before = _state_vector(core)
+    with pytest.raises(CheckpointCorruptError) as exc_info:
+        load_checkpoint(path, core.states)
+    err = exc_info.value
+    assert err.missing_keys == ["r2_delp"]
+    assert err.extra_keys == []
+    assert "r2_delp" in str(err)
+    # all-or-nothing: the model state was not half-restored
+    for a, b in zip(before, _state_vector(core)):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_unexpected_array_reported_by_name(saved):
+    core, path = saved
+    data = dict(np.load(path, allow_pickle=False))
+    data["r9999_mystery"] = np.zeros(3)
+    np.savez(path, **data)
+    with pytest.raises(CheckpointCorruptError) as exc_info:
+        load_checkpoint(path, core.states)
+    assert exc_info.value.extra_keys == ["r9999_mystery"]
+    assert "r9999_mystery" in str(exc_info.value)
+
+
+def test_missing_header_is_typed_with_found_keys(saved):
+    core, path = saved
+    _repack_without(path, "__meta__")
+    with pytest.raises(CheckpointCorruptError) as exc_info:
+        load_checkpoint(path, core.states)
+    err = exc_info.value
+    assert "no header" in str(err)
+    assert "r0_u" in err.extra_keys
+
+
+def test_corrupt_header_is_typed(saved):
+    core, path = saved
+    data = dict(np.load(path, allow_pickle=False))
+    data["__meta__"] = np.frombuffer(b"{not json!", dtype=np.uint8)
+    np.savez(path, **data)
+    with pytest.raises(CheckpointCorruptError):
+        load_checkpoint(path, core.states)
+
+
+def test_corrupt_error_is_a_checkpoint_error(saved):
+    """Existing except-CheckpointError handlers keep working."""
+    core, path = saved
+    path.write_bytes(b"junk")
+    with pytest.raises(CheckpointError):
+        load_checkpoint(path, core.states)
+    assert issubclass(CheckpointCorruptError, CheckpointError)
+
+
+def test_version_is_checked_and_reported(saved):
+    core, path = saved
+    import json
+
+    data = dict(np.load(path, allow_pickle=False))
+    meta = json.loads(bytes(data["__meta__"]).decode())
+    meta["version"] = CHECKPOINT_VERSION + 13
+    data["__meta__"] = np.frombuffer(
+        json.dumps(meta).encode(), dtype=np.uint8
+    )
+    np.savez(path, **data)
+    with pytest.raises(CheckpointError, match=str(CHECKPOINT_VERSION + 13)):
+        load_checkpoint(path, core.states)
+
+
+def test_missing_file_stays_file_not_found(tmp_path, saved):
+    core, _ = saved
+    with pytest.raises(FileNotFoundError):
+        load_checkpoint(tmp_path / "absent.npz", core.states)

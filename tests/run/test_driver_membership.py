@@ -1,0 +1,134 @@
+"""Dynamic ensemble membership — the serving layer's request slots.
+
+One warm :class:`EnsembleDriver` engine hosts members that come and go:
+``add_member``/``remove_member`` at any time, selective stepping,
+bit-exact snapshot/restore of individual members, and an ``rng``
+override that keeps a member's state a pure function of the *request's*
+identity rather than the slot id it happens to occupy."""
+
+import numpy as np
+import pytest
+
+from repro.fv3.config import DynamicalCoreConfig
+from repro.run import EnsembleDriver, member_rng
+
+CFG = DynamicalCoreConfig(
+    npx=12, npz=4, layout=1, dt_atmos=300.0, k_split=1, n_split=2,
+    n_tracers=1,
+)
+
+
+@pytest.fixture
+def driver():
+    d = EnsembleDriver("baroclinic_wave", CFG, members=(0,), seed=3,
+                       diagnostics=False)
+    yield d
+    d.close()
+
+
+def test_members_come_and_go(driver):
+    driver.add_member(7)
+    driver.add_member(2)
+    assert driver.member_ids == (0, 7, 2)  # insertion order
+    driver.remove_member(7)
+    assert driver.member_ids == (0, 2)
+    with pytest.raises(KeyError):
+        driver.remove_member(7)
+    with pytest.raises(ValueError):
+        driver.add_member(2)  # already loaded
+
+
+def test_step_selected_advances_only_the_selected(driver):
+    driver.add_member(1)
+    driver.step_selected([1], 2)
+    assert driver.members[1].step_count == 2
+    assert driver.members[0].step_count == 0  # untouched
+    report = driver.member_report(1)
+    assert report["step"] == 2
+    assert np.isfinite(report["summary"]["max_wind"])
+
+
+def test_snapshot_restore_resumes_bit_identically(driver):
+    """snapshot at step 2, evict, re-install, run to 3 == straight run
+    to 3 — byte for byte."""
+    driver.step_selected([0], 3)
+    want = driver.member_report(0)
+
+    other = EnsembleDriver("baroclinic_wave", CFG, members=(0,), seed=3,
+                           diagnostics=False)
+    try:
+        other.step_selected([0], 2)
+        snap = other.snapshot_member(0)
+        mass0 = other.members[0].mass0
+        tracer0 = other.members[0].tracer0
+        other.remove_member(0)
+        other.add_member(0, snapshot=snap, mass0=mass0, tracer0=tracer0)
+        assert other.members[0].step_count == 2  # adopted, not rebuilt
+        other.step_selected([0], 1)
+        got = other.member_report(0)
+    finally:
+        other.close()
+    assert got["summary"] == want["summary"]
+    assert got["mass_drift"] == want["mass_drift"]
+
+
+def test_snapshot_is_independent_of_later_stepping(driver):
+    snap = driver.snapshot_member(0)
+    before = [a.copy() for a in snap.arrays[0].values()]
+    driver.step_selected([0], 1)
+    for a, b in zip(before, snap.arrays[0].values()):
+        np.testing.assert_array_equal(a, b)
+
+
+def test_rng_override_decouples_state_from_slot_id(driver):
+    """Two different slot ids seeded with the same request rng hold
+    identical states; the default path would tie them to the slot."""
+    driver.add_member(11, rng=member_rng(3, 1))
+    driver.add_member(42, rng=member_rng(3, 1))
+    driver.step_selected([11, 42], 2)
+    a = driver.member_report(11)
+    b = driver.member_report(42)
+    assert a["summary"] == b["summary"]
+    assert a["mass_drift"] == b["mass_drift"]
+    # and they genuinely match the classic member-1 build under slot 1
+    driver.add_member(1)
+    driver.step_selected([1], 2)
+    c = driver.member_report(1)
+    assert c["summary"] == a["summary"]
+
+
+def test_rng_none_installs_unperturbed_control(driver):
+    driver.add_member(5, rng=None)
+    driver.step_selected([0, 5], 1)
+    control = driver.member_report(0)  # member 0 is the control
+    clone = driver.member_report(5)
+    assert clone["summary"] == control["summary"]
+
+
+def test_engine_adoption_hosts_fresh_members(driver):
+    """A second driver adopting the warm engine starts empty, serves
+    its own members, and matches a cold driver bit for bit."""
+    serving = EnsembleDriver("baroclinic_wave", CFG, members=(), seed=3,
+                             engine=driver.engine, diagnostics=False)
+    serving.add_member(0, rng=member_rng(3, 1))
+    serving.step_selected([0], 2)
+    got = serving.member_report(0)
+
+    cold = EnsembleDriver("baroclinic_wave", CFG, members=(1,), seed=3,
+                          diagnostics=False)
+    try:
+        cold.step_selected([1], 2)
+        want = cold.member_report(1)
+    finally:
+        cold.close()
+    assert got["summary"] == want["summary"]
+    assert got["mass_drift"] == want["mass_drift"]
+
+
+def test_engine_adoption_rejects_config_mismatch(driver):
+    import dataclasses
+
+    other = dataclasses.replace(CFG, dt_atmos=600.0)
+    with pytest.raises(ValueError, match="different config"):
+        EnsembleDriver("baroclinic_wave", other, members=(),
+                       engine=driver.engine, diagnostics=False)

@@ -1,0 +1,178 @@
+"""JIT disk-cache self-healing: a corrupt cached ``.so`` under
+``REPRO_JIT_DIR`` (torn write, disk error, partial copy) triggers a
+rebuild-and-overwrite with a once-per-process warning — not a crash on
+every subsequent run.
+
+Within one process ``dlopen`` dedups by pathname and returns the
+already-loaded (healthy) handle regardless of what is on disk, so the
+fresh-process-meets-corrupt-cache scenario cannot be reproduced with a
+real ``ctypes.CDLL`` here.  Most tests therefore stub ``CDLL`` to fail
+on the planted corrupt payloads — modelling what a fresh process's
+``dlopen`` would do — and one end-to-end test runs a genuinely fresh
+interpreter against the damaged cache.  Corruption always goes through
+unlink-then-write: overwriting the mapped inode in place would SIGBUS
+this process.
+"""
+
+import ctypes
+import json
+import os
+import subprocess
+import sys
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.runtime import jit
+
+SRC = (
+    "#include <stdint.h>\n"
+    "void add_one(double* x, int64_t n)\n"
+    "{ for (int64_t i = 0; i < n; ++i) x[i] += 1.0; }\n"
+)
+
+_REAL_CDLL = ctypes.CDLL
+
+
+@pytest.fixture
+def cgen(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_JIT", "cgen")
+    monkeypatch.setenv("REPRO_JIT_DIR", str(tmp_path))
+    jit.reset(engine=True)
+    if jit._find_cc() is None:
+        pytest.skip("no C compiler on this machine")
+    jit.reset()  # also re-arms the once-per-process corruption warning
+    jit._LOADED.clear()  # the content key is the same in every test
+    yield tmp_path
+    monkeypatch.delenv("REPRO_JIT", raising=False)
+    jit.reset(engine=True)
+
+
+@pytest.fixture
+def fresh_dlopen(monkeypatch):
+    """Make ``CDLL`` behave like a fresh process's dlopen: corrupt bytes
+    planted by :func:`_corrupt` raise ``OSError`` instead of being served
+    from the process-wide handle cache."""
+    planted = set()
+
+    def cdll(path, *args, **kwargs):
+        with open(path, "rb") as fh:
+            if fh.read() in planted:
+                raise OSError(f"{path}: invalid ELF header")
+        return _REAL_CDLL(path, *args, **kwargs)
+
+    monkeypatch.setattr(ctypes, "CDLL", cdll)
+    return planted
+
+
+def _sole_so(cache_dir):
+    (sopath,) = cache_dir.glob("*.so")
+    return sopath
+
+
+def _corrupt(sopath, blob, planted):
+    # unlink first: the healthy inode may be mmapped by this process
+    sopath.unlink()
+    sopath.write_bytes(blob)
+    planted.add(blob)
+
+
+def _call(lib):
+    fn = lib.add_one
+    fn.argtypes = [ctypes.c_void_p, ctypes.c_int64]
+    x = np.zeros(3)
+    fn(x.ctypes.data, 3)
+    return list(x)
+
+
+def test_corrupt_cached_so_is_rebuilt_in_place(cgen, fresh_dlopen):
+    jit.compile_c(SRC)
+    sopath = _sole_so(cgen)
+    _corrupt(sopath, b"\x7fELF this is not a loadable object", fresh_dlopen)
+    jit._LOADED.clear()  # fresh process-level state, stale disk cache
+
+    with pytest.warns(jit.JitCacheWarning, match="rebuil"):
+        lib = jit.compile_c(SRC)
+    assert _call(lib) == [1.0, 1.0, 1.0]
+
+    stats = jit.stats()
+    assert stats["cache_repairs"] == 1
+    assert stats["compiles"] == 2  # original + the rebuild
+    # the overwritten artifact is healthy again: next load is a disk hit
+    jit._LOADED.clear()
+    jit.compile_c(SRC)
+    assert jit.stats()["disk_hits"] == 1
+
+
+def test_truncated_so_is_rebuilt(cgen, fresh_dlopen):
+    jit.compile_c(SRC)
+    sopath = _sole_so(cgen)
+    blob = sopath.read_bytes()
+    _corrupt(sopath, blob[: len(blob) // 3], fresh_dlopen)
+    jit._LOADED.clear()
+    with pytest.warns(jit.JitCacheWarning):
+        lib = jit.compile_c(SRC)
+    assert _call(lib) == [1.0, 1.0, 1.0]
+
+
+def test_corruption_warning_fires_once_per_process(cgen, fresh_dlopen):
+    jit.compile_c(SRC)
+    sopath = _sole_so(cgen)
+
+    def corrupt_and_reload(blob):
+        _corrupt(sopath, blob, fresh_dlopen)
+        jit._LOADED.clear()
+        return jit.compile_c(SRC)
+
+    with pytest.warns(jit.JitCacheWarning):
+        corrupt_and_reload(b"garbage one")
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", jit.JitCacheWarning)
+        corrupt_and_reload(b"garbage two")  # silent repair the second time
+    assert jit.stats()["cache_repairs"] == 2
+
+
+def test_healthy_cache_never_warns(cgen):
+    jit.compile_c(SRC)
+    jit._LOADED.clear()
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", jit.JitCacheWarning)
+        jit.compile_c(SRC)
+    assert jit.stats()["cache_repairs"] == 0
+
+
+def test_fresh_process_heals_corrupt_cache(cgen):
+    """End to end with a real dlopen: a brand-new interpreter pointed at
+    a damaged cache warns once, rebuilds, and computes correctly."""
+    jit.compile_c(SRC)
+    sopath = _sole_so(cgen)
+    sopath.unlink()
+    sopath.write_bytes(b"\x7fELF torn write")
+
+    child = (
+        "import json, warnings, numpy as np, ctypes\n"
+        "from repro.runtime import jit\n"
+        "with warnings.catch_warnings(record=True) as caught:\n"
+        "    warnings.simplefilter('always')\n"
+        f"    lib = jit.compile_c({SRC!r})\n"
+        "fn = lib.add_one\n"
+        "fn.argtypes = [ctypes.c_void_p, ctypes.c_int64]\n"
+        "x = np.zeros(3)\n"
+        "fn(x.ctypes.data, 3)\n"
+        "print(json.dumps({\n"
+        "    'warned': [str(w.message) for w in caught\n"
+        "               if issubclass(w.category, jit.JitCacheWarning)],\n"
+        "    'repairs': jit.stats()['cache_repairs'],\n"
+        "    'result': list(x),\n"
+        "}))\n"
+    )
+    env = dict(os.environ, REPRO_JIT="cgen", REPRO_JIT_DIR=str(cgen),
+               PYTHONPATH="src")
+    proc = subprocess.run([sys.executable, "-c", child], env=env,
+                          capture_output=True, text=True, cwd="/root/repo")
+    assert proc.returncode == 0, proc.stderr
+    out = json.loads(proc.stdout)
+    assert out["repairs"] == 1
+    assert len(out["warned"]) == 1 and "rebuil" in out["warned"][0]
+    assert out["result"] == [1.0, 1.0, 1.0]

@@ -1,0 +1,30 @@
+"""Serving-suite fixtures: clean chaos/resilience state around every
+test (services inject faults and count recoveries), plus the small
+dyncore config every service test runs with — serving semantics don't
+depend on resolution, so the suite uses the cheapest grid that still
+exercises remapping and tracers."""
+
+import pytest
+
+from repro import resilience
+from repro.fv3.config import DynamicalCoreConfig
+from repro.resilience import chaos
+
+
+@pytest.fixture(autouse=True)
+def _clean_resilience_state():
+    previous = chaos.set_plan(None)
+    resilience.reset()
+    try:
+        yield
+    finally:
+        chaos.set_plan(previous)
+        resilience.reset()
+
+
+@pytest.fixture
+def small_config():
+    return DynamicalCoreConfig(
+        npx=12, npz=4, layout=1, dt_atmos=300.0, k_split=1, n_split=2,
+        n_tracers=1,
+    )

@@ -1,0 +1,96 @@
+"""The (scenario, backend) circuit breaker state machine, on a fake
+clock so cooldowns need no sleeping."""
+
+from repro.serve import BreakerBoard, CircuitBreaker
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make(threshold=3, cooldown=10.0):
+    clock = FakeClock()
+    return CircuitBreaker(threshold, cooldown, clock), clock
+
+
+def test_starts_closed_and_allows_primary():
+    breaker, _ = make()
+    assert breaker.state == CLOSED
+    assert breaker.allow_primary()
+
+
+def test_trips_after_threshold_consecutive_failures():
+    breaker, _ = make(threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert not breaker.allow_primary()
+    assert breaker.stats()["trips"] == 1
+
+
+def test_success_resets_the_consecutive_count():
+    breaker, _ = make(threshold=2)
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # never two in a row
+
+
+def test_half_open_after_cooldown_allows_exactly_one_probe():
+    breaker, clock = make(threshold=1, cooldown=10.0)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(9.9)
+    assert not breaker.allow_primary()
+    clock.advance(0.2)
+    assert breaker.state == HALF_OPEN
+    assert breaker.allow_primary()       # the probe
+    assert not breaker.allow_primary()   # everyone else keeps degrading
+    assert breaker.stats()["probes"] == 1
+
+
+def test_successful_probe_closes_and_counts_recovery():
+    breaker, clock = make(threshold=1, cooldown=5.0)
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow_primary()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.allow_primary()
+    assert breaker.stats()["recoveries"] == 1
+
+
+def test_failed_probe_reopens_and_restarts_cooldown():
+    breaker, clock = make(threshold=1, cooldown=5.0)
+    breaker.record_failure()
+    clock.advance(5.0)
+    assert breaker.allow_primary()
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(4.9)
+    assert not breaker.allow_primary()  # cooldown restarted
+    clock.advance(0.2)
+    assert breaker.allow_primary()
+
+
+def test_board_keys_by_scenario_and_backend():
+    board = BreakerBoard(threshold=1, cooldown=100.0, clock=FakeClock())
+    board.get("wave", "compiled").record_failure()
+    assert board.get("wave", "compiled").state == OPEN
+    # other scenarios / backends are unaffected
+    assert board.get("wave", "numpy").state == CLOSED
+    assert board.get("vortex", "compiled").state == CLOSED
+    assert board.get("wave", "compiled") is board.get("wave", "compiled")
+    totals = board.totals()
+    assert totals["trips"] == 1 and totals["open"] == 1
+    assert "wave/compiled" in board.stats()

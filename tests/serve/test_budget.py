@@ -1,0 +1,102 @@
+"""Deadline budgets and the retry schedule, on a fake clock."""
+
+import pytest
+
+from repro.serve import DeadlineBudget, DeadlineExceeded, RetryPolicy
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def test_budget_tracks_elapsed_and_remaining():
+    clock = FakeClock()
+    budget = DeadlineBudget(10.0, request_id=7, clock=clock)
+    assert budget.remaining() == pytest.approx(10.0)
+    clock.advance(4.0)
+    assert budget.elapsed() == pytest.approx(4.0)
+    assert budget.remaining() == pytest.approx(6.0)
+    assert not budget.exhausted
+    assert budget.check() == pytest.approx(6.0)
+
+
+def test_budget_check_raises_typed_error_with_phase_breakdown():
+    clock = FakeClock()
+    budget = DeadlineBudget(5.0, request_id=3, clock=clock)
+    with budget.phase("warm"):
+        clock.advance(2.0)
+    with pytest.raises(DeadlineExceeded) as exc_info:
+        with budget.phase("steps"):
+            clock.advance(4.0)
+            budget.check()
+    err = exc_info.value
+    assert err.request_id == 3
+    assert err.phase == "steps"
+    assert err.phases["warm"] == pytest.approx(2.0)
+    assert err.phases["steps"] == pytest.approx(4.0)
+    assert "steps" in str(err) and "5.000s" in str(err)
+
+
+def test_budget_phases_accumulate_and_charge_attributes_external_time():
+    clock = FakeClock()
+    budget = DeadlineBudget(None, clock=clock)
+    budget.charge("queue", 1.5)
+    for _ in range(3):
+        with budget.phase("steps"):
+            clock.advance(0.5)
+    assert budget.phases["queue"] == pytest.approx(1.5)
+    assert budget.phases["steps"] == pytest.approx(1.5)
+    # None deadline never trips, however much time passes
+    clock.advance(1e9)
+    assert budget.check() == float("inf")
+    assert not budget.exhausted
+
+
+def test_budget_rejects_nonpositive_deadline():
+    with pytest.raises(ValueError, match="positive"):
+        DeadlineBudget(0.0)
+    with pytest.raises(ValueError, match="positive"):
+        DeadlineBudget(-1.0)
+
+
+def test_retry_backoff_is_deterministic_and_bounded():
+    policy = RetryPolicy(max_retries=5, backoff_base=0.1,
+                         max_backoff=0.3, seed=42)
+    delays = [policy.backoff(11, k) for k in (1, 2, 3, 4)]
+    again = [policy.backoff(11, k) for k in (1, 2, 3, 4)]
+    assert delays == again  # pure function of (seed, request, attempt)
+    assert delays != [RetryPolicy(seed=43, backoff_base=0.1).backoff(11, k)
+                      for k in (1, 2, 3, 4)]
+    for k, d in enumerate(delays, start=1):
+        assert 0.0 <= d <= min(0.1 * 2 ** (k - 1), 0.3)
+
+
+def test_retry_backoff_zero_base_never_sleeps():
+    policy = RetryPolicy(max_retries=2, backoff_base=0.0)
+    slept = []
+    took = policy.sleep(1, 1, sleeper=slept.append)
+    assert took == 0.0 and slept == []
+
+
+def test_retry_sleep_clipped_to_remaining_budget():
+    clock = FakeClock()
+    budget = DeadlineBudget(10.0, clock=clock)
+    clock.advance(9.9)  # 0.1s left
+    policy = RetryPolicy(max_retries=1, backoff_base=100.0,
+                         max_backoff=100.0, seed=0)
+    slept = []
+    took = policy.sleep(5, 1, budget, sleeper=slept.append)
+    assert took <= 0.05  # at most half the remaining budget
+    assert slept == [took] or took == 0.0
+
+
+def test_retry_policy_rejects_negative_retries():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)

@@ -1,0 +1,126 @@
+"""Graceful degradation: a failing primary backend trips its breaker
+and traffic routes to the bit-identical NumPy fallback; half-open
+probes restore the primary when it heals.
+
+The DSL's own per-stencil fallback (``REPRO_FALLBACK``) is disabled
+here so backend failures actually escape to the serving layer — with it
+on, a broken backend costs every stencil call a failed attempt plus a
+NumPy re-run, which is exactly the per-call tax the breaker exists to
+stop paying."""
+
+import pytest
+
+from repro.dsl import backends
+from repro.resilience import RecoverableFault
+from repro.run import run
+from repro.serve import ForecastService, ServiceConfig
+
+
+#: module-level so every flaky executor — including ones cached on
+#: long-lived stencil objects by an earlier test — sees the same knobs
+_FLAKY_STATE = {"healthy": False, "calls": 0}
+
+
+@pytest.fixture
+def flaky_backend(monkeypatch):
+    """A registered backend whose executors fail on demand."""
+    monkeypatch.setenv("REPRO_FALLBACK", "0")
+    _FLAKY_STATE.update(healthy=False, calls=0)
+
+    def factory(stencil):
+        numpy_exec = backends.get_backend("numpy")(stencil)
+
+        def executor(*args, **kwargs):
+            _FLAKY_STATE["calls"] += 1
+            if not _FLAKY_STATE["healthy"]:
+                raise RecoverableFault("flaky backend: injected failure")
+            numpy_exec(*args, **kwargs)
+
+        return executor
+
+    backends.register_backend("flaky", factory, replace=True)
+    yield _FLAKY_STATE
+    backends.unregister_backend("flaky")
+
+
+def make_service(**overrides):
+    kw = dict(workers=1, backend="flaky", max_retries=2,
+              breaker_threshold=2, breaker_cooldown=3600.0)
+    kw.update(overrides)
+    return ForecastService(ServiceConfig(**kw))
+
+
+def test_breaker_trips_and_routes_to_fallback(flaky_backend, small_config):
+    svc = make_service()
+    try:
+        response = svc.forecast("baroclinic_wave", 1, config=small_config,
+                                deadline=300.0, use_cache=False)
+        # the failed primary attempts tripped the breaker mid-request;
+        # the surviving attempt ran degraded on the fallback
+        assert response.degraded
+        assert response.backend == "numpy"
+        assert response.attempts == 3  # 2 primary failures + 1 fallback
+        board = svc.breakers.stats()["baroclinic_wave/flaky"]
+        assert board["state"] == "open"
+        assert board["trips"] == 1
+        # the next request degrades immediately: no failed attempt paid
+        calls_before = flaky_backend["calls"]
+        again = svc.forecast("baroclinic_wave", 1, config=small_config,
+                             seed=5, deadline=300.0, use_cache=False)
+        assert again.degraded and again.attempts == 1
+        assert flaky_backend["calls"] == calls_before  # primary untouched
+        assert svc.summary()["requests"]["degraded"] == 2
+    finally:
+        svc.close()
+
+
+def test_degraded_result_bit_identical_to_numpy_direct(
+        flaky_backend, small_config):
+    svc = make_service()
+    try:
+        degraded = svc.forecast("baroclinic_wave", 2, config=small_config,
+                                seed=3, deadline=300.0, use_cache=False)
+        assert degraded.degraded
+    finally:
+        svc.close()
+    direct = run("baroclinic_wave", small_config, steps=2, seed=3,
+                 check=False)
+    assert degraded.report["summary"] == direct.members[0].summary
+    assert degraded.report["mass_drift"] == direct.members[0].mass_drift
+
+
+def test_half_open_probe_recovers_healed_primary(flaky_backend,
+                                                 small_config):
+    clock = FakeClock()
+    svc = ForecastService(
+        ServiceConfig(workers=1, backend="flaky", max_retries=2,
+                      breaker_threshold=2, breaker_cooldown=10.0),
+        clock=clock,
+    )
+    try:
+        svc.forecast("baroclinic_wave", 1, config=small_config,
+                     deadline=None, use_cache=False)
+        breaker = svc.breakers.get("baroclinic_wave", "flaky")
+        assert breaker.state == "open"
+        # primary heals; after the cooldown the next request probes it
+        flaky_backend["healthy"] = True
+        clock.advance(11.0)
+        probe = svc.forecast("baroclinic_wave", 1, config=small_config,
+                             seed=7, deadline=None, use_cache=False)
+        assert not probe.degraded
+        assert probe.backend == "flaky"
+        assert breaker.state == "closed"
+        assert breaker.stats()["recoveries"] == 1
+    finally:
+        svc.close()
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
