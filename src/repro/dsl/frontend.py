@@ -23,6 +23,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro._astsync import AST_LOCK
 from repro.dsl import builtins as dsl_builtins
 from repro.dsl.builtins import (
     BACKWARD,
@@ -87,7 +88,8 @@ _ORDERS = {"PARALLEL": PARALLEL, "FORWARD": FORWARD, "BACKWARD": BACKWARD}
 
 def _get_func_ast(func) -> ast.FunctionDef:
     source = textwrap.dedent(inspect.getsource(func))
-    tree = ast.parse(source)
+    with AST_LOCK:  # ast<->object conversion is not thread-safe on 3.11
+        tree = ast.parse(source)
     node = tree.body[0]
     if not isinstance(node, ast.FunctionDef):
         raise StencilSyntaxError("expected a function definition")
@@ -301,7 +303,8 @@ class StencilParser:
         namespace.update(self.externals)
         out = []
         for arg in args:
-            code = compile(ast.Expression(body=arg), "<stencil>", "eval")
+            with AST_LOCK:
+                code = compile(ast.Expression(body=arg), "<stencil>", "eval")
             out.append(eval(code, namespace))  # noqa: S307 - own source
         return tuple(out)
 

@@ -66,6 +66,7 @@ class DynamicalCore:
         resilience: Optional[ResilienceConfig] = None,
         executor: Optional[_ranks.RankExecutor] = None,
         grids: Optional[List[CubedSphereGrid]] = None,
+        comm=None,
     ):
         if init is None:
             # the default workload is the registered baroclinic-wave
@@ -77,7 +78,10 @@ class DynamicalCore:
         self.config = config
         self.h = n_halo
         self.partitioner = CubedSpherePartitioner(config.npx, config.layout)
-        self.halo = HaloUpdater(self.partitioner, n_halo=n_halo)
+        # ``comm`` is any LocalComm-shaped transport: the in-process
+        # mailbox (default) or the shared-memory mailbox a process-based
+        # rank worker is attached to — the halo updater never knows which
+        self.halo = HaloUpdater(self.partitioner, n_halo=n_halo, comm=comm)
         # the rank executor decides sequential vs SPMD stepping; the
         # default reads REPRO_RANKS (1 → the original sequential path)
         self.executor = executor if executor is not None \

@@ -178,6 +178,15 @@ def _runtime_lines() -> List[str]:
             f"{rk['exposed_seconds']:.3f}s exposed, "
             f"{rk['exchanges']} split exchanges)"
         )
+    pr = rt.get("procs", {})
+    if pr.get("launches"):
+        lines.append(
+            f"process executor: {pr['launches']} launch(es), "
+            f"{pr['workers']} worker(s) / {pr['ranks']} ranks, "
+            f"{pr['worker_reports_merged']} worker reports merged, "
+            f"{pr['messages']} shm messages "
+            f"({pr['bytes'] / 1e6:.1f} MB)"
+        )
     return lines
 
 

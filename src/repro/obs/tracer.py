@@ -117,6 +117,45 @@ class Span:
             c.total_seconds for c in self.children.values()
         )
 
+    # -- cross-process serialization -----------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """A picklable/JSON-able copy of this subtree (plain dicts and
+        lists only — the shape worker processes ship over result pipes)."""
+        with _SPAN_LOCK:
+            count = self.count
+            total = self.total_seconds
+            attrs = dict(self.attrs)
+            children = list(self.children.values())
+        return {
+            "name": self.name,
+            "count": count,
+            "total_seconds": total,
+            "attrs": attrs,
+            "children": [c.to_dict() for c in children],
+        }
+
+    def merge_dict(self, data: Dict[str, object]) -> None:
+        """Fold a serialized subtree (from :meth:`to_dict`, possibly
+        produced in another process) into this span: counts and wall time
+        accumulate, numeric attributes add, other attributes fill in only
+        when absent, children merge recursively by name."""
+        with _SPAN_LOCK:
+            self.count += int(data.get("count", 0))
+            self.total_seconds += float(data.get("total_seconds", 0.0))
+            for key, value in (data.get("attrs") or {}).items():
+                mine = self.attrs.get(key)
+                if (
+                    isinstance(value, (int, float))
+                    and not isinstance(value, bool)
+                    and isinstance(mine, (int, float))
+                    and not isinstance(mine, bool)
+                ):
+                    self.attrs[key] = mine + value
+                elif key not in self.attrs:
+                    self.attrs[key] = value
+        for child_data in data.get("children") or ():
+            self.child(str(child_data["name"])).merge_dict(child_data)
+
     def __repr__(self) -> str:
         return (
             f"Span({self.name!r}, count={self.count}, "
@@ -236,6 +275,22 @@ class Tracer:
         # fresh thread-local storage: every thread re-roots at the new
         # root the next time it opens a span
         self._local = threading.local()
+
+    # -- cross-process merge --------------------------------------------
+    def summary(self) -> Dict[str, object]:
+        """The recorded span tree as plain dicts — what a worker process
+        pickles back to its parent so per-process spans are not silently
+        dropped from the parent's report."""
+        return {
+            "tracer": self.name,
+            "spans": [c.to_dict() for c in self.root.children.values()],
+        }
+
+    def merge(self, summary: Dict[str, object]) -> None:
+        """Fold another process's :meth:`summary` into this tracer's
+        tree (top-level spans merge under the root by name)."""
+        for span_data in summary.get("spans") or ():
+            self.root.child(str(span_data["name"])).merge_dict(span_data)
 
     # -- recording ------------------------------------------------------
     def span(self, name: str):

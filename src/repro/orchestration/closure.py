@@ -21,6 +21,8 @@ import inspect
 import textwrap
 from typing import Any, Dict, Tuple
 
+from repro._astsync import AST_LOCK
+
 
 class ClosureError(ValueError):
     pass
@@ -70,7 +72,8 @@ def _attribute_chain(node: ast.Attribute):
 
 def get_function_ast(func) -> ast.FunctionDef:
     source = textwrap.dedent(inspect.getsource(func))
-    tree = ast.parse(source)
+    with AST_LOCK:  # ast<->object conversion is not thread-safe on 3.11
+        tree = ast.parse(source)
     node = tree.body[0]
     if not isinstance(node, ast.FunctionDef):
         raise ClosureError("expected a function definition")

@@ -18,6 +18,8 @@ import ast
 import copy
 from typing import Any, Dict, Optional, Tuple
 
+from repro._astsync import AST_LOCK
+
 #: Types that may be folded into the AST as literals.
 _FOLDABLE = (bool, int, float, str, type(None))
 
@@ -43,7 +45,10 @@ def try_const_eval(node: ast.expr, env: Dict[str, Any]) -> Tuple[bool, Any]:
                     return False, None
             elif isinstance(sub, ast.Attribute):
                 return False, None  # attributes are resolved by closure, not here
-        code = compile(ast.Expression(body=copy.deepcopy(node)), "<pre>", "eval")
+        with AST_LOCK:  # ast-object compile is not thread-safe on 3.11
+            code = compile(
+                ast.Expression(body=copy.deepcopy(node)), "<pre>", "eval"
+            )
         safe = dict(env)
         safe.update({"range": range, "len": len, "min": min, "max": max,
                      "int": int, "abs": abs})

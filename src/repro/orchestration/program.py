@@ -587,6 +587,10 @@ class OrchestratedProgram:
         #: recompile the same way instead of silently dropping them
         self._instrument = False
         self._backend: Optional[str] = None
+        #: parameter names, parsed once — re-parsing the source on every
+        #: call would put ast.parse on the per-step hot path of every
+        #: rank thread (and 3.11's ast state is not thread-safe)
+        self._param_names: Optional[List[str]] = None
 
     # -- descriptor protocol: @orchestrate on methods ---------------------
     def __get__(self, obj, objtype=None):
@@ -732,8 +736,11 @@ class OrchestratedProgram:
                 self.compile(instrument=_TRACER.enabled)
         self._builds[self._build_key] = (self._builder, self._compiled)
         scalars = dict(self._builder.sdfg.scalars)
-        node = get_function_ast(self.func)
-        params = [a.arg for a in node.args.args if a.arg != "self"]
+        params = self._param_names
+        if params is None:
+            node = get_function_ast(self.func)
+            params = [a.arg for a in node.args.args if a.arg != "self"]
+            self._param_names = params
         bound = dict(zip(params, args))
         bound.update(kwargs)
         for name in self._builder.runtime_scalars:

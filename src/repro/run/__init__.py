@@ -17,8 +17,10 @@ scratch buffers are all paid once for the whole ensemble (see
 ``docs/ensembles.md``). It then runs the scenario's reference checks
 and returns a structured :class:`RunResult`.
 
-The PR-5 rank executor is one argument: ``executor="sequential"``,
-``"threads"`` (with ``workers=N``), or a
+The rank executor is one argument: ``executor="sequential"``,
+``"threads"`` (with ``workers=N``), ``"processes"`` (worker
+*processes* over a shared-memory mailbox — see ``docs/scaling.md``
+and :mod:`repro.runtime.procs`), or a
 :class:`~repro.runtime.RankExecutor` instance. Per-member
 checkpoint/restart and chaos/guard policies ride through
 ``resilience=`` (:class:`~repro.resilience.ResilienceConfig`), with
@@ -86,9 +88,15 @@ def run(
             reproduces batch member k standalone, bit-identically.
         seed: root seed of the per-member ``SeedSequence`` streams.
         executor: ``None`` (process default), ``"sequential"``,
-            ``"threads"`` or a :class:`~repro.runtime.RankExecutor`.
-        workers: thread cap for ``executor="threads"`` (default: one
-            per rank).
+            ``"threads"``, ``"processes"`` (worker processes speaking
+            the halo protocol over shared memory; bit-identical to the
+            other executors, but ``resilience=`` is rejected — see
+            ``docs/scaling.md``), a
+            :class:`~repro.runtime.RankExecutor`, or a
+            :class:`~repro.runtime.procs.ProcessRankExecutor`.
+        workers: thread cap for ``executor="threads"``; worker-process
+            count for ``executor="processes"`` (default: one per
+            rank).
         resilience: optional
             :class:`~repro.resilience.ResilienceConfig` applied to
             every member (periodic checkpoints go to per-member
@@ -99,6 +107,35 @@ def run(
             ``history``.
         check: run the scenario's reference checks after stepping.
     """
+    # lazy check: a ProcessRankExecutor instance implies repro.runtime
+    # .procs is already imported, so the module never loads otherwise
+    import sys as _sys
+
+    _procs = _sys.modules.get("repro.runtime.procs")
+    is_proc_executor = (
+        _procs is not None
+        and isinstance(executor, _procs.ProcessRankExecutor)
+    )
+    if is_proc_executor or (
+        isinstance(executor, str)
+        and executor.strip().lower() == "processes"
+    ):
+        from repro.run.procrun import run_processes
+
+        return run_processes(
+            scenario,
+            config,
+            steps,
+            members=members,
+            seed=seed,
+            executor=executor if is_proc_executor else None,
+            workers=workers,
+            resilience=resilience,
+            comm_latency=comm_latency,
+            max_polls=max_polls,
+            diagnostics=diagnostics,
+            check=check,
+        )
     driver = EnsembleDriver(
         scenario,
         config,

@@ -60,7 +60,9 @@ __all__ = ["EnsembleDriver", "build_core", "build_grids", "member_rng",
 _TRACER = _obs.get_tracer()
 
 #: accepted executor spellings for the facade's ``executor=`` argument
-_EXECUTOR_NAMES = ("sequential", "threads")
+#: ("processes" is dispatched by :func:`repro.run.run` before the driver
+#: is built — it launches whole worker processes, not engine threads)
+_EXECUTOR_NAMES = ("sequential", "threads", "processes")
 
 #: the swapped per-member prognostic fields (tracers handled separately)
 _STATE_FIELDS = ("u", "v", "w", "pt", "delp", "delz")
@@ -90,6 +92,12 @@ def resolve_executor(
         return _ranks.RankExecutor(1), True
     if name == "threads":
         return _ranks.RankExecutor(workers or total_ranks), True
+    if name == "processes":
+        raise ValueError(
+            "executor='processes' launches whole worker processes and is "
+            "only supported through repro.run.run(...), not through an "
+            "engine-level driver"
+        )
     raise ValueError(
         f"unknown executor {executor!r}; expected one of "
         f"{', '.join(map(repr, _EXECUTOR_NAMES))}, a RankExecutor, "
@@ -136,6 +144,7 @@ def build_core(
     comm_latency: Optional[float] = None,
     max_polls: Optional[int] = None,
     grids: Optional[List[CubedSphereGrid]] = None,
+    comm=None,
 ) -> DynamicalCore:
     """The single source of truth for wiring one member's ranks.
 
@@ -154,6 +163,7 @@ def build_core(
         resilience=resilience,
         executor=ex,
         grids=grids,
+        comm=comm,
     )
     if comm_latency is not None:
         core.halo.comm.latency = comm_latency

@@ -18,6 +18,10 @@ two allocation sources the generated NumPy programs had:
 - :mod:`repro.runtime.jit` — JIT engine probing + compilation for the
   ``compiled`` backend (PR 8), with compile-count/wall-time counters so
   reports attribute warmup cost separately from steady-state kernels.
+- :mod:`repro.runtime.procs` — the process-based rank executor (PR 10):
+  worker processes own contiguous rank blocks and exchange halos over a
+  shared-memory mailbox; imported lazily (only runs that ask for
+  ``executor="processes"`` pay for it).
 
 :func:`runtime_summary` aggregates the counter sets for the obs report.
 """
@@ -42,9 +46,17 @@ __all__ = [
 def runtime_summary() -> Dict[str, Dict[str, object]]:
     """Pool, compile-cache, JIT and rank-executor counters for reports
     (zero-filled dicts when the subsystems have not been exercised)."""
-    return {
+    import sys
+
+    out = {
         "pool": get_pool().stats(),
         "compile_cache": compile_cache.stats(),
         "jit": jit.stats(),
         "ranks": ranks.summary(),
     }
+    # the process executor is imported lazily; only report it when some
+    # run actually loaded it
+    procs = sys.modules.get("repro.runtime.procs")
+    if procs is not None:
+        out["procs"] = procs.summary()
+    return out

@@ -26,7 +26,7 @@ from repro.obs import tracer as _obs
 from repro.resilience import chaos as _chaos
 from repro.resilience.errors import InjectedCompileError
 
-__all__ = ["get_or_compile", "cache_key", "stats", "reset"]
+__all__ = ["get_or_compile", "cache_key", "merge_stats", "stats", "reset"]
 
 _SEP = "\x1f"
 
@@ -221,6 +221,31 @@ def stats() -> Dict[str, object]:
         "hit_rate": (hits / total) if total else 0.0,
         "by_backend": by_backend,
     }
+
+
+def merge_stats(data: Dict[str, object]) -> None:
+    """Fold a worker process's counter *deltas* into this process's
+    accounting (the process-based rank executor ships each worker's
+    stats-since-launch over the result pipe). Hit/miss counters add per
+    backend, as does the working-set reuse estimate; ``entries`` counts
+    programs cached in *this* process and is untouched — other
+    processes' program objects are not shared."""
+    global _BYTES_SAVED
+    by_backend = data.get("by_backend") or {}
+    if by_backend:
+        for backend, counts in by_backend.items():
+            _HITS[backend] = _HITS.get(backend, 0) + int(
+                counts.get("hits", 0)
+            )
+            _MISSES[backend] = _MISSES.get(backend, 0) + int(
+                counts.get("misses", 0)
+            )
+    else:
+        hits, misses = int(data.get("hits", 0)), int(data.get("misses", 0))
+        if hits or misses:
+            _HITS["merged"] = _HITS.get("merged", 0) + hits
+            _MISSES["merged"] = _MISSES.get("merged", 0) + misses
+    _BYTES_SAVED += int(data.get("bytes_saved", 0))
 
 
 def reset(clear: bool = True) -> None:

@@ -33,6 +33,7 @@ from __future__ import annotations
 import ctypes
 import hashlib
 import os
+import re
 import shutil
 import subprocess
 import tempfile
@@ -51,7 +52,9 @@ __all__ = [
     "compile_py",
     "default_threads",
     "jit_dir",
+    "merge_stats",
     "stats",
+    "sweep_stale_tmps",
     "reset",
 ]
 
@@ -163,13 +166,75 @@ def default_threads() -> int:
 
 
 def jit_dir() -> str:
-    """On-disk cache directory for compiled shared objects."""
+    """On-disk cache directory for compiled shared objects.
+
+    The first open per process also sweeps stale ``*.so.tmp<pid>``
+    leftovers from builds that died between the tmp-write and the atomic
+    rename (see :func:`sweep_stale_tmps`).
+    """
+    global _TMP_SWEPT
     path = os.environ.get("REPRO_JIT_DIR")
     if not path:
         uid = getattr(os, "getuid", lambda: 0)()
         path = os.path.join(tempfile.gettempdir(), f"repro-jit-{uid}")
     os.makedirs(path, exist_ok=True)
+    if not _TMP_SWEPT:
+        _TMP_SWEPT = True
+        sweep_stale_tmps(path)
     return path
+
+
+#: one stale-tmp sweep per process, on first cache open
+_TMP_SWEPT = False
+
+_TMP_PATTERN = re.compile(r"\.so\.tmp(\d+)$")
+
+
+def _pid_alive(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        return True
+    return True
+
+
+def sweep_stale_tmps(path: str, max_age_seconds: float = 600.0) -> List[str]:
+    """Remove orphaned ``repro_*.so.tmp<pid>`` files beside the cache.
+
+    A build writes the object to a pid-suffixed temporary name and
+    ``os.replace``s it into place; a compiler (or process) death in
+    between leaves the tmp behind forever. A tmp is stale when its owning
+    pid is gone, or — to cover pid reuse — when it is older than
+    ``max_age_seconds`` and not our own. Returns the removed paths.
+    """
+    removed: List[str] = []
+    try:
+        names = os.listdir(path)
+    except OSError:
+        return removed
+    now = time.time()
+    for name in names:
+        match = _TMP_PATTERN.search(name)
+        if match is None:
+            continue
+        full = os.path.join(path, name)
+        pid = int(match.group(1))
+        if pid != os.getpid() and _pid_alive(pid):
+            # a live concurrent build: only reap it once it is clearly
+            # abandoned (pid reuse can make a dead owner look alive)
+            try:
+                if now - os.path.getmtime(full) < max_age_seconds:
+                    continue
+            except OSError:
+                continue
+        try:
+            os.unlink(full)
+            removed.append(full)
+        except OSError:
+            pass
+    return removed
 
 
 # ---------------------------------------------------------------------------
@@ -247,15 +312,25 @@ def compile_c(source: str, want_openmp: bool = False) -> ctypes.CDLL:
         tmpso = sopath + f".tmp{os.getpid()}"
         with open(cpath, "w") as fh:
             fh.write(source)
-        proc = subprocess.run(
-            [cc, *flags, cpath, "-o", tmpso, "-lm"], capture_output=True
-        )
-        if proc.returncode != 0:
-            raise JitCompileError(
-                f"{cc} failed on generated source ({cpath}):\n"
-                f"{proc.stderr.decode(errors='replace')}"
+        try:
+            proc = subprocess.run(
+                [cc, *flags, cpath, "-o", tmpso, "-lm"], capture_output=True
             )
-        os.replace(tmpso, sopath)
+            if proc.returncode != 0:
+                raise JitCompileError(
+                    f"{cc} failed on generated source ({cpath}):\n"
+                    f"{proc.stderr.decode(errors='replace')}"
+                )
+            os.replace(tmpso, sopath)
+        finally:
+            # a failed (or interrupted) build must not leak its partial
+            # object beside the cache; after the atomic rename this is a
+            # no-op
+            if os.path.exists(tmpso):
+                try:
+                    os.unlink(tmpso)
+                except OSError:
+                    pass
         with _LOCK:
             _COMPILES += 1
             _COMPILE_SECONDS += time.perf_counter() - t0
@@ -334,6 +409,17 @@ def stats() -> Dict[str, object]:
             "disk_hits": _DISK_HITS,
             "cache_repairs": _CACHE_REPAIRS,
         }
+
+
+def merge_stats(data: Dict[str, object]) -> None:
+    """Fold a worker process's counter deltas into this process's JIT
+    accounting (engine identity is per-process and is not merged)."""
+    global _COMPILES, _COMPILE_SECONDS, _DISK_HITS, _CACHE_REPAIRS
+    with _LOCK:
+        _COMPILES += int(data.get("compiles", 0))
+        _COMPILE_SECONDS += float(data.get("compile_seconds", 0.0))
+        _DISK_HITS += int(data.get("disk_hits", 0))
+        _CACHE_REPAIRS += int(data.get("cache_repairs", 0))
 
 
 def reset(engine: bool = False) -> None:

@@ -44,6 +44,7 @@ class BufferPool:
 
     def __init__(self, recycle: bool = True):
         self.recycle = recycle
+        self._pid = os.getpid()
         self._free: Dict[_Key, List[np.ndarray]] = {}
         self._idle_ids: set = set()
         self._lock = threading.Lock()
@@ -207,6 +208,55 @@ class BufferPool:
             self._idle_ids.clear()
             self.idle_bytes = 0
 
+    # ------------------------------------------------------------------
+    # fork safety
+    # ------------------------------------------------------------------
+    def _reset_after_fork(self) -> None:
+        """Give a forked child a clean arena.
+
+        The child inherits the parent's free lists, stats and — if the
+        fork happened while another thread held it — a permanently-locked
+        ``threading.Lock``. Everything is replaced: a fresh lock, empty
+        free lists and zeroed accounting, so the child can neither
+        deadlock on the inherited lock nor double-free (or alias) buffers
+        the parent still considers checked out. Inherited buffer
+        references the child may still hold are copy-on-write private to
+        it; releasing one simply donates it to the child's own arena.
+        """
+        self._pid = os.getpid()
+        self._lock = threading.Lock()
+        self._tls = threading.local()
+        self._free = {}
+        self._idle_ids = set()
+        self._recorder = None
+        self.scope_reclaims = 0
+        self.checkouts = 0
+        self.reuse_hits = 0
+        self.allocations = 0
+        self.allocated_bytes = 0
+        self.alloc_bytes_avoided = 0
+        self.live_bytes = 0
+        self.idle_bytes = 0
+        self.high_water_bytes = 0
+
+    def merge_stats(self, data: Dict[str, int]) -> None:
+        """Fold a worker process's pool counters into this pool's
+        accounting (the process-based rank executor ships them over the
+        result pipe so the report footer stays truthful). Additive
+        counters sum; ``high_water_bytes`` takes the max — arenas in
+        different processes are separate address spaces, so their peaks
+        do not stack. Transient gauges (live/idle bytes) are per-process
+        and are not merged."""
+        with self._lock:
+            for key in (
+                "checkouts", "reuse_hits", "allocations",
+                "allocated_bytes", "alloc_bytes_avoided", "scope_reclaims",
+            ):
+                setattr(self, key, getattr(self, key) + int(data.get(key, 0)))
+            self.high_water_bytes = max(
+                self.high_water_bytes, int(data.get("high_water_bytes", 0))
+            )
+
 
 class CancelScope:
     """See :meth:`BufferPool.cancel_scope`. ``reclaimed`` (valid after
@@ -251,6 +301,21 @@ _POOL: BufferPool = BufferPool(
 )
 
 
+def _reset_default_pool_after_fork() -> None:
+    _POOL._reset_after_fork()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_default_pool_after_fork)
+
+
 def get_pool() -> BufferPool:
-    """The process-wide default arena used by compiled programs."""
+    """The process-wide default arena used by compiled programs.
+
+    Fork-safe: a child that somehow bypassed the ``register_at_fork``
+    hook (exotic platforms, embedded interpreters) is still caught by the
+    pid guard and gets a clean arena on first access.
+    """
+    if _POOL._pid != os.getpid():
+        _POOL._reset_after_fork()
     return _POOL

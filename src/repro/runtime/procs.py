@@ -1,0 +1,1130 @@
+"""Process-based SPMD rank execution over a shared-memory mailbox.
+
+PR 5 made ranks *concurrent* (one thread per rank); this module makes
+them *parallel*: worker processes, each owning a contiguous block of
+ranks, exchange halos through :class:`ProcComm` — a drop-in counterpart
+of :class:`~repro.fv3.communicator.LocalComm` whose mailbox lives in a
+POSIX shared-memory slot table guarded by one ``multiprocessing``
+condition variable. The split ``start_*/advance/finish_*`` halo API and
+its disjoint snd/rcv pack buffers were designed for exactly this:
+:class:`~repro.fv3.halo.HaloUpdater` never learns which transport it is
+on.
+
+Design:
+
+- **Replica cores.** Each worker builds the full member state and
+  geometry deterministically from the run spec (same builders, same
+  seeds), then executes *only its own ranks'* SPMD bodies. The rank
+  bodies touch nothing but rank-local arrays plus the communicator, so
+  the other ranks' replica arrays simply go stale — they are never read.
+  This keeps every compiled program, pool buffer and plan process-local
+  with zero sharing.
+- **Transport.** A fixed table of fixed-size slots in
+  ``multiprocessing.shared_memory``; one slot holds one in-flight
+  message (header: status/src/dst/tag/shape/dtype/deliverable-at).
+  Matching follows MPI semantics on (source, dest, tag), exactly like
+  ``LocalComm``; a send to an occupied key blocks until the receiver
+  drains it, which is the flow control that keeps cross-member
+  pipelining correct without global barriers. Deliverable-at instants
+  use ``time.monotonic_ns`` — ``CLOCK_MONOTONIC`` is system-wide on the
+  platforms we run on, so simulated latency works across processes.
+  The alternative transports considered (one OS pipe per directed rank
+  pair; a parent-brokered socket) were rejected for deadlock risk at
+  full eager-send fan-in and for serializing every message through one
+  broker, respectively.
+- **Observability.** Workers ship their tracer span trees and
+  pool/compile-cache/jit/rank-executor counters back over the result
+  pipe at teardown; :func:`fold_worker_reports` merges them into the
+  parent's subsystems so the obs report footer stays truthful.
+
+``repro.run.run(..., executor="processes", workers=W)`` is the public
+entry point (see :mod:`repro.run.procrun`); 1/2/6-process runs over the
+6-tile cubed sphere are bit-identical to the sequential and threaded
+executors, and ``benchmarks/bench_fig11_weak_scaling.py --measured``
+turns the same machinery into the measured Fig. 11 curve.
+
+Limitations (documented in ``docs/scaling.md``): ``resilience=`` is
+rejected — chaos occurrence counters and rollback snapshots are
+per-process and would diverge from the single-process schedule — and
+custom scenarios must be resolvable by name in the worker (always true
+under the default ``fork`` start method, which inherits the registry).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import threading
+import time
+import traceback
+import warnings
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs import tracer as _obs
+from repro.resilience import chaos as _chaos
+from repro.resilience import record as _record
+from repro.resilience.chaos import DEFAULT_DELAY_POLLS
+from repro.resilience.errors import HaloTimeoutError, OrphanedMessagesWarning
+from repro.runtime import ranks as _ranks
+
+__all__ = [
+    "ProcComm",
+    "ProcessRankExecutor",
+    "ShmTransport",
+    "WorkerSpec",
+    "fold_worker_reports",
+    "summary",
+]
+
+_Key = Tuple[int, int, int]  # (source, dest, tag)
+
+# ---------------------------------------------------------------------------
+# shared-memory slot table
+# ---------------------------------------------------------------------------
+
+#: header field indices (int64 each)
+_H_STATUS = 0
+_H_SRC = 1
+_H_DST = 2
+_H_TAG = 3
+_H_NBYTES = 4
+_H_NDIM = 5
+_H_SHAPE = 6  # .. 6+_MAX_DIMS
+_MAX_DIMS = 4
+_H_AT_NS = 10
+_H_DELAYED = 11
+_H_DTYPE = 12
+_HDR_INTS = 16
+_HDR_BYTES = _HDR_INTS * 8
+
+_EMPTY, _FULL = 0, 1
+
+
+def _pack_dtype(dtype: np.dtype) -> int:
+    code = np.dtype(dtype).str.encode("ascii")
+    if len(code) > 8:
+        raise ValueError(f"dtype {dtype} not transportable")
+    return int.from_bytes(code.ljust(8, b"\0"), "little")
+
+
+def _unpack_dtype(packed: int) -> np.dtype:
+    return np.dtype(int(packed).to_bytes(8, "little").rstrip(b"\0").decode())
+
+
+class ShmTransport:
+    """A fixed slot table in shared memory plus one condition variable.
+
+    The parent creates the segment (``create``); workers attach by name
+    (``attach``). All slot transitions happen under ``cond``, which is a
+    ``multiprocessing.Condition`` — process- *and* thread-safe, so the
+    in-worker rank threads and sibling processes share one wait/notify
+    domain. Headers live in one contiguous int64 block at the front,
+    payloads in fixed-capacity slots behind it.
+    """
+
+    def __init__(self, shm, cond, n_slots: int, slot_bytes: int,
+                 owner: bool):
+        self._shm = shm
+        self.cond = cond
+        self.n_slots = int(n_slots)
+        self.slot_bytes = int(slot_bytes)
+        self._owner = owner
+        self._closed = False
+        self.hdr = np.ndarray(
+            (self.n_slots, _HDR_INTS), dtype=np.int64, buffer=shm.buf
+        )
+        self._payload_base = self.n_slots * _HDR_BYTES
+
+    # -- lifecycle ------------------------------------------------------
+    @classmethod
+    def create(cls, n_slots: int, slot_bytes: int, ctx) -> "ShmTransport":
+        from multiprocessing import shared_memory
+
+        size = n_slots * (_HDR_BYTES + slot_bytes)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        transport = cls(shm, ctx.Condition(), n_slots, slot_bytes,
+                        owner=True)
+        transport.hdr[:] = 0
+        return transport
+
+    @classmethod
+    def attach(cls, name: str, n_slots: int, slot_bytes: int,
+               cond) -> "ShmTransport":
+        from multiprocessing import resource_tracker, shared_memory
+
+        # CPython registers attaches with the resource tracker exactly
+        # like creates (gh-82300), so an attach-only process would
+        # unlink the parent's live segment at exit. Under ``spawn`` the
+        # attach starts a fresh child-local tracker — unregister there.
+        # Under ``fork`` the tracker is *shared* with the parent and the
+        # register is an idempotent re-add: unregistering would delete
+        # the parent's entry, so leave it alone.
+        inherited_tracker = (
+            getattr(resource_tracker._resource_tracker, "_fd", None)
+            is not None
+        )
+        shm = shared_memory.SharedMemory(name=name)
+        if not inherited_tracker:
+            try:
+                resource_tracker.unregister(shm._name, "shared_memory")
+            except Exception:
+                pass
+        return cls(shm, cond, n_slots, slot_bytes, owner=False)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.hdr = None  # release the exported buffer before closing
+        self._shm.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                pass
+
+    # -- slot operations (caller holds ``cond``) ------------------------
+    def find(self, key: _Key) -> Optional[int]:
+        h = self.hdr
+        mask = (
+            (h[:, _H_STATUS] == _FULL)
+            & (h[:, _H_SRC] == key[0])
+            & (h[:, _H_DST] == key[1])
+            & (h[:, _H_TAG] == key[2])
+        )
+        hits = np.nonzero(mask)[0]
+        return int(hits[0]) if hits.size else None
+
+    def find_empty(self) -> Optional[int]:
+        hits = np.nonzero(self.hdr[:, _H_STATUS] == _EMPTY)[0]
+        return int(hits[0]) if hits.size else None
+
+    def _payload(self, slot: int, nbytes: int) -> np.ndarray:
+        offset = self._payload_base + slot * self.slot_bytes
+        return np.frombuffer(
+            self._shm.buf, dtype=np.uint8, count=nbytes, offset=offset
+        )
+
+    def post(self, slot: int, key: _Key, payload: np.ndarray,
+             at_ns: int, delayed: bool,
+             corrupt_index: Optional[int] = None) -> None:
+        nbytes = payload.nbytes
+        if nbytes > self.slot_bytes:
+            raise ValueError(
+                f"message of {nbytes} bytes exceeds the transport's "
+                f"{self.slot_bytes}-byte slot capacity (resize via "
+                f"REPRO_SHM_SLOT_BYTES or a larger launch sizing)"
+            )
+        if payload.ndim > _MAX_DIMS:
+            raise ValueError(
+                f"{payload.ndim}-d payloads unsupported (max {_MAX_DIMS})"
+            )
+        row = self.hdr[slot]
+        row[_H_SRC], row[_H_DST], row[_H_TAG] = key
+        row[_H_NBYTES] = nbytes
+        row[_H_NDIM] = payload.ndim
+        row[_H_SHAPE:_H_SHAPE + _MAX_DIMS] = 0
+        for axis, extent in enumerate(payload.shape):
+            row[_H_SHAPE + axis] = extent
+        row[_H_AT_NS] = at_ns
+        row[_H_DELAYED] = int(delayed)
+        row[_H_DTYPE] = _pack_dtype(payload.dtype)
+        self._payload(slot, nbytes)[:] = payload.reshape(-1).view(np.uint8)
+        if corrupt_index is not None:
+            view = np.frombuffer(
+                self._payload(slot, nbytes), dtype=payload.dtype
+            )
+            view[corrupt_index] = np.nan
+        row[_H_STATUS] = _FULL
+
+    def read_into(self, slot: int, buf: np.ndarray) -> None:
+        row = self.hdr[slot]
+        nbytes = int(row[_H_NBYTES])
+        ndim = int(row[_H_NDIM])
+        shape = tuple(int(row[_H_SHAPE + axis]) for axis in range(ndim))
+        dtype = _unpack_dtype(row[_H_DTYPE])
+        payload = self._payload(slot, nbytes).view(dtype).reshape(shape)
+        np.copyto(buf, payload.reshape(buf.shape))
+
+    def free(self, slot: int) -> None:
+        self.hdr[slot, _H_STATUS] = _EMPTY
+
+    def pending_keys(self) -> List[_Key]:
+        h = self.hdr
+        keys = [
+            (int(h[s, _H_SRC]), int(h[s, _H_DST]), int(h[s, _H_TAG]))
+            for s in np.nonzero(h[:, _H_STATUS] == _FULL)[0]
+        ]
+        return sorted(keys)
+
+
+# ---------------------------------------------------------------------------
+# the LocalComm-compatible endpoint
+# ---------------------------------------------------------------------------
+
+# cached module reference for the compute-slot handoff around blocking
+# waits (same pattern as LocalComm)
+def _io_wait():
+    return _ranks.io_wait()
+
+
+class ProcRequest:
+    """Completion handle mirroring ``communicator.Request`` semantics:
+    receives block until the matching send is deliverable and copy into
+    the posted buffer; sends complete when the receiver drains the
+    slot."""
+
+    def __init__(self, comm: "ProcComm", kind: str, key: _Key, buf,
+                 dropped: bool = False):
+        self._comm = comm
+        self._kind = kind
+        self._key = key
+        self._buf = buf
+        self._done = False
+        self._dropped = dropped
+
+    def wait(self, timeout: Optional[float] = None) -> None:
+        if self._done:
+            return
+        if self._kind == "recv":
+            self._wait_recv(timeout)
+        else:
+            self._wait_send(timeout)
+        self._done = True
+
+    def _wait_recv(self, timeout: Optional[float]) -> None:
+        comm, key = self._comm, self._key
+        budget = comm.timeout if timeout is None else timeout
+        transport = comm.transport
+        deadline: Optional[float] = None
+        delayed = False
+        with _io_wait():
+            with transport.cond:
+                while True:
+                    slot = transport.find(key)
+                    if slot is not None:
+                        at_ns = int(transport.hdr[slot, _H_AT_NS])
+                        now_ns = time.monotonic_ns()
+                        if at_ns <= now_ns:
+                            delayed = bool(transport.hdr[slot, _H_DELAYED])
+                            transport.read_into(slot, self._buf)
+                            transport.free(slot)
+                            transport.cond.notify_all()
+                            break
+                        # present but in flight (modeled latency / chaos
+                        # delay): wake at the delivery instant — not
+                        # charged to the absence budget
+                        transport.cond.wait((at_ns - now_ns) / 1e9)
+                        continue
+                    now = time.monotonic()
+                    if deadline is None:
+                        deadline = now + budget
+                    elif now >= deadline:
+                        source, dest, tag = key
+                        raise HaloTimeoutError(
+                            source=source,
+                            dest=dest,
+                            tag=tag,
+                            polls=comm.max_polls,
+                            pending=transport.pending_keys(),
+                        )
+                    transport.cond.wait(
+                        min(comm.poll_interval, deadline - now)
+                    )
+        if delayed:
+            _record("halo_redeliveries")
+
+    def _wait_send(self, timeout: Optional[float]) -> None:
+        if self._dropped:
+            return
+        comm, key = self._comm, self._key
+        budget = comm.timeout if timeout is None else timeout
+        transport = comm.transport
+        with _io_wait():
+            with transport.cond:
+                deadline = time.monotonic() + budget
+                while transport.find(key) is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        source, dest, tag = key
+                        raise HaloTimeoutError(
+                            source=source,
+                            dest=dest,
+                            tag=tag,
+                            polls=comm.max_polls,
+                            pending=transport.pending_keys(),
+                        )
+                    transport.cond.wait(
+                        min(comm.poll_interval, remaining)
+                    )
+
+    def test(self) -> bool:
+        if self._done:
+            return True
+        comm = self._comm
+        with comm.transport.cond:
+            slot = comm.transport.find(self._key)
+            if self._kind == "recv":
+                return slot is not None and (
+                    int(comm.transport.hdr[slot, _H_AT_NS])
+                    <= time.monotonic_ns()
+                )
+            return self._dropped or slot is None
+
+
+class ProcComm:
+    """One process's endpoint of the shared-memory mailbox.
+
+    API-compatible with :class:`~repro.fv3.communicator.LocalComm`
+    (``Isend``/``Irecv``/``Request`` lifecycles, ``latency``,
+    ``max_polls``/``timeout``, ``drain``/``finalize``, message log) so
+    the halo updater — and the chaos sites consulted on every send —
+    behave identically on either transport. ``owned_ranks`` scopes
+    ``drain`` to this endpoint's inbound slots, so a worker tearing down
+    never steals another worker's in-flight messages.
+    """
+
+    #: receive budget, in polls of ``poll_interval`` seconds (the
+    #: process runner widens this by default: sibling workers may spend
+    #: seconds in first-step compilation while our receives are posted)
+    max_polls: int = 8
+    poll_interval: float = 0.05
+
+    def __init__(self, transport: ShmTransport, size: int,
+                 owned_ranks: Optional[Sequence[int]] = None,
+                 latency: Optional[float] = None):
+        self.transport = transport
+        self.size = int(size)
+        self.owned_ranks = (
+            tuple(owned_ranks) if owned_ranks is not None else None
+        )
+        if latency is None:
+            latency = float(os.environ.get("REPRO_NET_LATENCY", "0") or "0")
+        self.latency = latency
+        self._lock = threading.Lock()
+        self.log: List[object] = []
+
+    @property
+    def timeout(self) -> float:
+        """Seconds of absence a wait tolerates before raising."""
+        return self.max_polls * self.poll_interval
+
+    @property
+    def delay_seconds(self) -> float:
+        """How long a chaos ``halo.delay`` withholds delivery."""
+        return DEFAULT_DELAY_POLLS * self.poll_interval
+
+    def pending(self) -> List[_Key]:
+        """Sorted (source, dest, tag) triples still in the mailbox
+        (table-global: every process sees the same pending set)."""
+        with self.transport.cond:
+            return self.transport.pending_keys()
+
+    # ---- nonblocking operations --------------------------------------
+    def Isend(self, buf: np.ndarray, source: int, dest: int,
+              tag: int = 0) -> ProcRequest:
+        from repro.fv3.communicator import MessageRecord
+
+        if not (0 <= dest < self.size):
+            raise ValueError(f"invalid destination rank {dest}")
+        key = (source, dest, tag)
+        dropped = False
+        delayed = False
+        corrupt_index: Optional[int] = None
+        if _chaos._PLAN is not None:
+            if _chaos.consult(
+                "halo.drop", source=source, dest=dest, tag=tag
+            ):
+                dropped = True
+            else:
+                fault = _chaos.consult(
+                    "halo.corrupt", source=source, dest=dest, tag=tag
+                )
+                if fault is not None:
+                    corrupt_index = _chaos.get_plan().rng(
+                        "halo.corrupt.index"
+                    ).randrange(buf.size)
+                    fault.detail["index"] = corrupt_index
+                if _chaos.consult(
+                    "halo.delay", source=source, dest=dest, tag=tag
+                ):
+                    delayed = True
+        with self._lock:
+            self.log.append(MessageRecord(source, dest, buf.nbytes, tag))
+        if dropped:
+            return ProcRequest(self, "send", key, buf, dropped=True)
+        payload = np.ascontiguousarray(buf)
+        transport = self.transport
+        with _io_wait():
+            with transport.cond:
+                deadline: Optional[float] = None
+                while True:
+                    occupied = transport.find(key) is not None
+                    slot = None if occupied else transport.find_empty()
+                    if slot is not None:
+                        break
+                    now = time.monotonic()
+                    if deadline is None:
+                        deadline = now + self.timeout
+                    elif now >= deadline:
+                        if occupied:
+                            raise RuntimeError(
+                                f"message {key} already in flight"
+                            )
+                        raise RuntimeError(
+                            "shared-memory mailbox full: all "
+                            f"{transport.n_slots} slots occupied while "
+                            f"posting {key}"
+                        )
+                    transport.cond.wait(
+                        min(self.poll_interval, deadline - now)
+                    )
+                at_ns = time.monotonic_ns() + int(self.latency * 1e9)
+                if delayed:
+                    at_ns += int(self.delay_seconds * 1e9)
+                transport.post(slot, key, payload, at_ns, delayed,
+                               corrupt_index)
+                transport.cond.notify_all()
+        return ProcRequest(self, "send", key, buf)
+
+    def Irecv(self, buf: np.ndarray, source: int, dest: int,
+              tag: int = 0) -> ProcRequest:
+        return ProcRequest(self, "recv", (source, dest, tag), buf)
+
+    # ---- lifecycle ----------------------------------------------------
+    def drain(self) -> List[_Key]:
+        """Drop in-flight messages destined to this endpoint's ranks
+        (all messages when unscoped), returning the orphaned keys."""
+        transport = self.transport
+        orphans: List[_Key] = []
+        with transport.cond:
+            for key in transport.pending_keys():
+                if self.owned_ranks is not None and \
+                        key[1] not in self.owned_ranks:
+                    continue
+                slot = transport.find(key)
+                if slot is not None:
+                    transport.free(slot)
+                    orphans.append(key)
+            transport.cond.notify_all()
+        return sorted(orphans)
+
+    def finalize(self, strict: bool = False) -> List[_Key]:
+        """Drain check at teardown, mirroring ``LocalComm.finalize``."""
+        orphans = self.drain()
+        if orphans:
+            _record("orphaned_messages", len(orphans))
+            triples = ", ".join(
+                f"(src={s}, dst={d}, tag={t})" for s, d, t in orphans
+            )
+            message = (
+                f"{len(orphans)} message(s) sent but never received: "
+                f"{triples}"
+            )
+            if strict:
+                raise RuntimeError(message)
+            warnings.warn(message, OrphanedMessagesWarning, stacklevel=2)
+        return orphans
+
+    # ---- statistics ---------------------------------------------------
+    def reset_log(self) -> None:
+        with self._lock:
+            self.log.clear()
+
+    def bytes_by_rank(self) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        with self._lock:
+            records = list(self.log)
+        for rec in records:
+            out[rec.source] = out.get(rec.source, 0) + rec.nbytes
+        return out
+
+    def message_sizes(self, rank: Optional[int] = None) -> List[int]:
+        with self._lock:
+            records = list(self.log)
+        return [
+            rec.nbytes
+            for rec in records
+            if rank is None or rec.source == rank
+        ]
+
+
+# ---------------------------------------------------------------------------
+# in-worker executor: this process's ranks only
+# ---------------------------------------------------------------------------
+
+
+class _SubsetRankExecutor(_ranks.RankExecutor):
+    """Runs the SPMD bodies of this worker's ranks; sibling ranks run in
+    other processes and are reached only through the communicator.
+
+    Always ``parallel`` (the engine must take the message-passing SPMD
+    path — the sequential path's atomic exchanges need every rank's
+    arrays, which a replica core does not keep fresh). With more than
+    one owned rank, the bodies run on threads exactly like the PR-5
+    executor: a rank blocked in a receive must not prevent a same-worker
+    rank from posting the matching send.
+    """
+
+    def __init__(self, owned_ranks: Sequence[int]):
+        super().__init__(workers=max(1, len(owned_ranks)))
+        self.owned_ranks = tuple(sorted(owned_ranks))
+
+    @property
+    def parallel(self) -> bool:
+        return True
+
+    def run(self, fn, n_ranks: int, label: str = "ranks"):
+        owned = [r for r in self.owned_ranks if r < n_ranks]
+        results: List[object] = [None] * n_ranks
+        t0 = time.perf_counter()
+        if len(owned) <= 1:
+            for rank in owned:
+                results[rank] = fn(rank)
+        else:
+            pool = self._ensure_pool(len(owned))
+            tracer = _obs.get_tracer()
+            parent = tracer.current if tracer.enabled else None
+            futures = {
+                rank: pool.submit(self._run_rank, fn, rank, tracer, parent)
+                for rank in owned
+            }
+            errors: List[tuple] = []
+            for rank in owned:
+                try:
+                    results[rank] = futures[rank].result()
+                except BaseException as exc:  # noqa: BLE001 — re-raised
+                    errors.append((rank, exc))
+            if errors:
+                errors.sort(key=lambda item: item[0])
+                raise errors[0][1]
+        elapsed = time.perf_counter() - t0
+        with _ranks._LOCK:
+            _ranks._METRICS["workers"] = self.workers
+            _ranks._METRICS["sections"] += 1
+            _ranks._METRICS["tasks"] += len(owned)
+            _ranks._METRICS["section_seconds"] += elapsed
+        return results
+
+    def __repr__(self) -> str:
+        return f"_SubsetRankExecutor(ranks={self.owned_ranks})"
+
+
+# ---------------------------------------------------------------------------
+# worker process
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a worker needs to rebuild its replica deterministically
+    (picklable: scenario travels by registry name)."""
+
+    scenario: str
+    config: object  # DynamicalCoreConfig (frozen dataclass)
+    seed: int
+    member_ids: Tuple[int, ...]
+    comm_latency: Optional[float]
+    max_polls: Optional[int]
+    diagnostics: bool
+    trace: bool
+
+
+def _numeric_delta(new: Dict, old: Dict) -> Dict:
+    """Recursive new-minus-old over numeric leaves (non-numerics copied
+    from ``new``) — workers forked from a warm parent must report only
+    their own activity."""
+    out: Dict = {}
+    for key, value in new.items():
+        base = old.get(key)
+        if isinstance(value, dict):
+            out[key] = _numeric_delta(value, base if isinstance(base, dict)
+                                      else {})
+        elif isinstance(value, bool) or not isinstance(value, (int, float)):
+            out[key] = value
+        else:
+            out[key] = value - (base if isinstance(base, (int, float))
+                                and not isinstance(base, bool) else 0)
+    return out
+
+
+class _WorkerHarness:
+    """One worker's replica engine plus its block of member states.
+
+    Mirrors the :class:`~repro.run.driver.EnsembleDriver` state-swap
+    contract exactly — member states are built with the same
+    ``SeedSequence`` streams *replayed across all ranks in rank order*
+    (a member's rank-r state depends on how many draws ranks 0..r-1
+    consumed), and stepping is step-major over members. Only the owned
+    ranks' results are kept; everything else is discarded after the
+    replay.
+    """
+
+    def __init__(self, spec: WorkerSpec, owned: Sequence[int],
+                 comm: ProcComm):
+        from repro.run.driver import build_core, member_rng
+        from repro.scenarios import get_scenario
+
+        self.spec = spec
+        self.owned = tuple(owned)
+        self.comm = comm
+        self.scenario = get_scenario(spec.scenario)
+        self.config = spec.config
+        self.core = build_core(
+            self.scenario,
+            self.config,
+            member=0,
+            seed=spec.seed,
+            executor=_SubsetRankExecutor(self.owned),
+            comm=comm,
+            comm_latency=spec.comm_latency,
+            max_polls=spec.max_polls,
+        )
+        self.h = self.core.h
+        # members: id -> {"states": {rank: RankFields}, "time", "step"}
+        self.members: Dict[int, Dict[str, object]] = {}
+        self.history: Dict[int, List[Dict[str, object]]] = {}
+        for member in spec.member_ids:
+            rng = member_rng(spec.seed, member)
+            states: Dict[int, object] = {}
+            for rank in range(self.core.partitioner.total_ranks):
+                state = self.scenario.build_state(
+                    self.core.grids[rank], self.config, rng
+                )
+                if rank in self.owned:
+                    states[rank] = state
+            self.members[member] = {
+                "states": states, "time": 0.0, "step": 0,
+            }
+            self.history[member] = []
+
+    # -- per-rank conservation partials (bit-identical summands of the
+    # -- engine's global_integral/tracer_integral/max_wind folds) -------
+    def _mass_partial(self, rank: int) -> float:
+        h = self.h
+        field = self.core.states[rank].delp
+        area = self.core.grids[rank].area[h:-h, h:-h]
+        return float(np.sum(field[h:-h, h:-h] * area[..., None]))
+
+    def _tracer_partial(self, rank: int) -> Optional[float]:
+        if not self.config.n_tracers:
+            return None
+        h = self.h
+        state = self.core.states[rank]
+        area = self.core.grids[rank].area[h:-h, h:-h]
+        return float(
+            np.sum(
+                state.tracers[0][h:-h, h:-h]
+                * state.delp[h:-h, h:-h]
+                * area[..., None]
+            )
+        )
+
+    def _wind_partial(self, rank: int) -> float:
+        h = self.h
+        state = self.core.states[rank]
+        return float(
+            np.max(np.hypot(state.u[h:-h, h:-h], state.v[h:-h, h:-h]))
+        )
+
+    def _w_partial(self, rank: int) -> float:
+        h = self.h
+        return float(
+            np.max(np.abs(self.core.states[rank].w[h:-h, h:-h]))
+        )
+
+    def baselines(self) -> Dict[str, object]:
+        out: Dict[str, object] = {"mass0": {}, "tracer0": {}}
+        for member in self.spec.member_ids:
+            self._activate(member)
+            out["mass0"][member] = {
+                rank: self._mass_partial(rank) for rank in self.owned
+            }
+            out["tracer0"][member] = {
+                rank: self._tracer_partial(rank) for rank in self.owned
+            }
+        return out
+
+    # -- state swap (owned ranks only) ----------------------------------
+    def _activate(self, member: int) -> None:
+        from repro.run.driver import _STATE_FIELDS
+
+        record = self.members[member]
+        for rank in self.owned:
+            src = record["states"][rank]
+            dst = self.core.states[rank]
+            for name in _STATE_FIELDS:
+                np.copyto(getattr(dst, name), getattr(src, name))
+            for src_tr, dst_tr in zip(src.tracers, dst.tracers):
+                np.copyto(dst_tr, src_tr)
+        self.core.time = record["time"]
+        self.core.step_count = record["step"]
+
+    def _store(self, member: int) -> None:
+        from repro.run.driver import _STATE_FIELDS
+
+        record = self.members[member]
+        for rank in self.owned:
+            src = self.core.states[rank]
+            dst = record["states"][rank]
+            for name in _STATE_FIELDS:
+                np.copyto(getattr(dst, name), getattr(src, name))
+            for src_tr, dst_tr in zip(src.tracers, dst.tracers):
+                np.copyto(dst_tr, src_tr)
+        record["time"] = self.core.time
+        record["step"] = self.core.step_count
+
+    def step(self, n: int) -> None:
+        for _ in range(int(n)):
+            for member in self.spec.member_ids:
+                self._activate(member)
+                self.core.step_dynamics()
+                if self.spec.diagnostics:
+                    self.history[member].append({
+                        "time": self.core.time,
+                        "step": self.core.step_count,
+                        "mass": {r: self._mass_partial(r)
+                                 for r in self.owned},
+                        "max_wind": {r: self._wind_partial(r)
+                                     for r in self.owned},
+                        "max_w": {r: self._w_partial(r)
+                                  for r in self.owned},
+                        "tracer": {r: self._tracer_partial(r)
+                                   for r in self.owned},
+                    })
+                self._store(member)
+
+    def collect(self) -> Dict[str, object]:
+        from repro.run.driver import _STATE_FIELDS
+
+        members: Dict[int, object] = {}
+        for member, record in self.members.items():
+            states = {}
+            for rank in self.owned:
+                fields = record["states"][rank]
+                states[rank] = {
+                    **{name: getattr(fields, name)
+                       for name in _STATE_FIELDS},
+                    "tracers": list(fields.tracers),
+                }
+            members[member] = {
+                "time": record["time"],
+                "step": record["step"],
+                "states": states,
+                "history": self.history[member],
+            }
+        return {"owned": self.owned, "members": members}
+
+    def close(self) -> None:
+        self.core.finalize(strict=False)
+        self.core.executor.shutdown()
+
+
+def _worker_main(spec: WorkerSpec, owned: Tuple[int, ...], n_ranks: int,
+                 shm_name: str, n_slots: int, slot_bytes: int, cond,
+                 conn) -> None:
+    """Entry point of one rank worker process (module-level so the spawn
+    start method can pickle it). Protocol over ``conn``: parent sends
+    ``(command, arg)``; worker replies ``("ok"|"ready", payload)`` or
+    ``("error", (type, message, traceback))``."""
+    transport = None
+    harness = None
+    try:
+        from repro.runtime import compile_cache as _compile_cache
+        from repro.runtime import jit as _jit
+        from repro.runtime.pool import get_pool
+
+        tracer = _obs.get_tracer()
+        tracer.enabled = bool(spec.trace)
+        tracer.reset()
+        _ranks.reset_metrics()
+        cache0 = _compile_cache.stats()
+        jit0 = _jit.stats()
+        transport = ShmTransport.attach(shm_name, n_slots, slot_bytes, cond)
+        comm = ProcComm(transport, size=n_ranks, owned_ranks=owned)
+        harness = _WorkerHarness(spec, owned, comm)
+        conn.send(("ready", harness.baselines()))
+        while True:
+            command, arg = conn.recv()
+            if command == "step":
+                harness.step(arg)
+                conn.send(("ok", None))
+            elif command == "collect":
+                conn.send(("ok", harness.collect()))
+            elif command == "report":
+                sent = comm.message_sizes()
+                conn.send(("ok", {
+                    "owned": owned,
+                    "spans": tracer.summary() if tracer.enabled else None,
+                    "ranks": _ranks.summary(),
+                    "pool": get_pool().stats(),
+                    "compile_cache": _numeric_delta(
+                        _compile_cache.stats(), cache0
+                    ),
+                    "jit": _numeric_delta(_jit.stats(), jit0),
+                    "comm": {
+                        "messages": len(sent),
+                        "bytes": int(sum(sent)),
+                    },
+                }))
+            elif command == "close":
+                harness.close()
+                harness = None
+                conn.send(("ok", None))
+                break
+            else:
+                conn.send(("error", (
+                    "ValueError", f"unknown command {command!r}", "",
+                )))
+    except BaseException as exc:  # noqa: BLE001 — shipped to the parent
+        try:
+            conn.send(("error", (
+                type(exc).__name__, str(exc), traceback.format_exc(),
+            )))
+        except Exception:
+            pass
+    finally:
+        try:
+            if harness is not None:
+                harness.close()
+        except Exception:
+            pass
+        if transport is not None:
+            transport.close()
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# parent-side executor
+# ---------------------------------------------------------------------------
+
+_LOCK = threading.Lock()
+_METRICS: Dict[str, float] = {
+    "launches": 0,
+    "workers": 0,
+    "ranks": 0,
+    "steps": 0,
+    "worker_reports_merged": 0,
+    "messages": 0,
+    "bytes": 0,
+}
+
+
+def summary() -> Dict[str, object]:
+    """Process-executor counters for the obs report footer."""
+    with _LOCK:
+        return dict(_METRICS)
+
+
+def reset_metrics() -> None:
+    with _LOCK:
+        for key in _METRICS:
+            _METRICS[key] = 0
+
+
+def fold_worker_reports(payloads: Sequence[Dict[str, object]]) -> None:
+    """Merge worker report payloads into the parent's obs/runtime
+    subsystems (span trees, executor/overlap counters, pool and
+    compile-cache/jit accounting) so the report footer covers the whole
+    process tree, not just the parent."""
+    from repro.runtime import compile_cache as _compile_cache
+    from repro.runtime import jit as _jit
+    from repro.runtime.pool import get_pool
+
+    tracer = _obs.get_tracer()
+    for payload in payloads:
+        if not payload:
+            continue
+        spans = payload.get("spans")
+        if spans:
+            tracer.merge(spans)
+        _ranks.merge_summary(payload.get("ranks") or {})
+        get_pool().merge_stats(payload.get("pool") or {})
+        _compile_cache.merge_stats(payload.get("compile_cache") or {})
+        _jit.merge_stats(payload.get("jit") or {})
+        comm = payload.get("comm") or {}
+        with _LOCK:
+            _METRICS["worker_reports_merged"] += 1
+            _METRICS["messages"] += int(comm.get("messages", 0))
+            _METRICS["bytes"] += int(comm.get("bytes", 0))
+
+
+def _default_start_method() -> str:
+    import multiprocessing
+
+    method = os.environ.get("REPRO_PROC_START")
+    if method:
+        return method
+    # fork is preferred: workers inherit the scenario registry, warm
+    # in-memory caches and the import graph, so launch cost stays low
+    return ("fork" if "fork" in multiprocessing.get_all_start_methods()
+            else "spawn")
+
+
+class ProcessRankExecutor:
+    """Parent handle on a fleet of rank worker processes.
+
+    ``workers=W`` distributes the ``n_ranks`` ranks over W processes in
+    contiguous blocks (W=1 degenerates to one replica stepping all
+    ranks on threads; W=n_ranks is one process per rank). The lifecycle
+    is ``launch → step* → collect/collect_reports → close``; every
+    command fans out to all workers and gathers their replies, raising
+    the lowest-worker error deterministically.
+    """
+
+    def __init__(self, workers: Optional[int] = None,
+                 start_method: Optional[str] = None,
+                 command_timeout: float = 600.0):
+        self.workers = workers
+        self.start_method = start_method or _default_start_method()
+        self.command_timeout = command_timeout
+        self.transport: Optional[ShmTransport] = None
+        self._procs: List[object] = []
+        self._conns: List[object] = []
+        self._blocks: List[Tuple[int, ...]] = []
+        self.n_ranks = 0
+
+    @property
+    def parallel(self) -> bool:
+        return True
+
+    def launch(self, spec: WorkerSpec, n_ranks: int, slot_bytes: int,
+               n_slots: int) -> List[Dict[str, object]]:
+        """Create the transport, start the workers and wait for every
+        ``ready`` handshake; returns the per-worker baseline payloads."""
+        import multiprocessing
+
+        if self._procs:
+            raise RuntimeError("executor already launched")
+        ctx = multiprocessing.get_context(self.start_method)
+        width = min(self.workers or n_ranks, n_ranks)
+        self.n_ranks = n_ranks
+        self._blocks = [
+            tuple(int(r) for r in block)
+            for block in np.array_split(np.arange(n_ranks), width)
+            if len(block)
+        ]
+        self.transport = ShmTransport.create(n_slots, slot_bytes, ctx)
+        try:
+            for index, block in enumerate(self._blocks):
+                parent_conn, child_conn = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(spec, block, n_ranks, self.transport.name,
+                          n_slots, slot_bytes, self.transport.cond,
+                          child_conn),
+                    name=f"repro-rank-worker-{index}",
+                    daemon=True,
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                self._conns.append(parent_conn)
+            ready = [self._recv(i) for i in range(len(self._procs))]
+        except BaseException:
+            self.close()
+            raise
+        with _LOCK:
+            _METRICS["launches"] += 1
+            _METRICS["workers"] = max(
+                _METRICS["workers"], len(self._procs)
+            )
+            _METRICS["ranks"] = max(_METRICS["ranks"], n_ranks)
+        return ready
+
+    def _recv(self, index: int):
+        conn, proc = self._conns[index], self._procs[index]
+        deadline = time.monotonic() + self.command_timeout
+        while not conn.poll(1.0):
+            if not proc.is_alive() and not conn.poll(0):
+                raise RuntimeError(
+                    f"rank worker {index} (ranks {self._blocks[index]}) "
+                    f"died with exit code {proc.exitcode}"
+                )
+            if time.monotonic() > deadline:
+                raise RuntimeError(
+                    f"rank worker {index} unresponsive after "
+                    f"{self.command_timeout:.0f}s"
+                )
+        try:
+            status, payload = conn.recv()
+        except EOFError:
+            raise RuntimeError(
+                f"rank worker {index} closed its pipe unexpectedly "
+                f"(exit code {proc.exitcode})"
+            ) from None
+        if status == "error":
+            kind, message, tb = payload
+            raise RuntimeError(
+                f"rank worker {index} (ranks {self._blocks[index]}) "
+                f"failed with {kind}: {message}\n{tb}"
+            )
+        return payload
+
+    def _broadcast(self, command: str, arg=None) -> List[object]:
+        for conn in self._conns:
+            conn.send((command, arg))
+        return [self._recv(i) for i in range(len(self._conns))]
+
+    def step(self, n: int) -> None:
+        self._broadcast("step", int(n))
+        with _LOCK:
+            _METRICS["steps"] += int(n)
+
+    def collect(self) -> List[Dict[str, object]]:
+        return self._broadcast("collect")
+
+    def collect_reports(self) -> List[Dict[str, object]]:
+        return self._broadcast("report")
+
+    def close(self) -> None:
+        """Shut the fleet down (idempotent); leftover in-flight messages
+        are reported like ``LocalComm.finalize`` reports orphans."""
+        for conn in self._conns:
+            try:
+                conn.send(("close", None))
+            except (OSError, ValueError):
+                pass
+        for index, proc in enumerate(self._procs):
+            try:
+                self._recv(index)
+            except Exception:
+                pass
+            proc.join(timeout=10.0)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5.0)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        self._procs = []
+        self._conns = []
+        if self.transport is not None:
+            leftovers = self.transport.pending_keys()
+            if leftovers:
+                warnings.warn(
+                    f"{len(leftovers)} message(s) left in the "
+                    f"shared-memory mailbox at shutdown: {leftovers}",
+                    OrphanedMessagesWarning,
+                    stacklevel=2,
+                )
+            self.transport.close()
+            self.transport = None
+
+    def shutdown(self) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        width = len(self._blocks) or (self.workers or 0)
+        return (
+            f"ProcessRankExecutor(workers={width}, ranks={self.n_ranks}, "
+            f"start={self.start_method}, transport=shm)"
+        )

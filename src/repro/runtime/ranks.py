@@ -43,6 +43,7 @@ __all__ = [
     "get_executor",
     "configure",
     "io_wait",
+    "merge_summary",
     "overlap_enabled",
     "record_overlap",
     "reset_metrics",
@@ -118,6 +119,22 @@ def reset_metrics() -> None:
     with _LOCK:
         for key in _METRICS:
             _METRICS[key] = 0
+
+
+def merge_summary(data: Dict[str, object]) -> None:
+    """Fold a worker process's executor/overlap counters into this
+    process's metrics (the process-based rank executor ships each
+    worker's :func:`summary` back over the result pipe). Counters add;
+    ``workers`` reports the widest executor seen."""
+    with _LOCK:
+        _METRICS["workers"] = max(
+            _METRICS["workers"], int(data.get("workers", 0) or 0)
+        )
+        for key in (
+            "sections", "tasks", "section_seconds",
+            "exchanges", "hidden_seconds", "exposed_seconds",
+        ):
+            _METRICS[key] += data.get(key, 0) or 0
 
 
 def summary() -> Dict[str, object]:

@@ -1,0 +1,76 @@
+"""Serializable tracer merge (PR 10 satellite): a worker process ships
+its span tree as plain dicts over a pipe; the parent folds it under its
+own root so one report covers the whole process tree."""
+
+import pickle
+
+from repro.obs.tracer import Tracer
+
+
+def _build_worker_tracer():
+    worker = Tracer("worker", enabled=True)
+    with worker.span("ensemble.step") as sp:
+        sp.add("members", 2)
+        with worker.span("rank[3]"):
+            pass
+        with worker.span("rank[3]"):
+            pass
+    with worker.span("halo.exchange") as sp:
+        sp.add("cells", 120)
+        sp.set("phase_mode", "split")
+    return worker
+
+
+def test_summary_is_picklable_plain_data():
+    summary = _build_worker_tracer().summary()
+    assert summary["tracer"] == "worker"
+    restored = pickle.loads(pickle.dumps(summary))
+    assert restored == summary
+    names = {span["name"] for span in summary["spans"]}
+    assert names == {"ensemble.step", "halo.exchange"}
+
+
+def test_merge_folds_counts_durations_and_children():
+    parent = Tracer("parent", enabled=True)
+    with parent.span("ensemble.step") as sp:
+        sp.add("members", 1)
+    parent.merge(_build_worker_tracer().summary())
+    step = parent.root.children["ensemble.step"]
+    assert step.count == 2  # parent's own 1 + worker's 1
+    assert step.attrs["members"] == 3  # numeric attrs add
+    assert step.children["rank[3]"].count == 2
+    halo = parent.root.children["halo.exchange"]
+    assert halo.count == 1
+    assert halo.attrs["cells"] == 120
+    assert halo.attrs["phase_mode"] == "split"
+
+
+def test_merge_twice_accumulates():
+    parent = Tracer("parent2", enabled=True)
+    summary = _build_worker_tracer().summary()
+    parent.merge(summary)
+    parent.merge(summary)
+    step = parent.root.children["ensemble.step"]
+    assert step.count == 2
+    assert step.attrs["members"] == 4
+    assert step.children["rank[3]"].count == 4
+
+
+def test_merge_keeps_non_numeric_attrs_first_writer_wins():
+    parent = Tracer("parent3", enabled=True)
+    with parent.span("halo.exchange") as sp:
+        sp.set("phase_mode", "atomic")
+    parent.merge(_build_worker_tracer().summary())
+    halo = parent.root.children["halo.exchange"]
+    assert halo.attrs["phase_mode"] == "atomic"  # not clobbered
+
+
+def test_merged_durations_accumulate():
+    worker = _build_worker_tracer()
+    worker_step = worker.root.children["ensemble.step"]
+    parent = Tracer("parent4", enabled=True)
+    parent.merge(worker.summary())
+    merged = parent.root.children["ensemble.step"]
+    assert merged.total_seconds == worker_step.total_seconds
+    parent.merge(worker.summary())
+    assert merged.total_seconds == 2 * worker_step.total_seconds

@@ -1,0 +1,160 @@
+"""ProcComm semantics: the shared-memory mailbox must behave exactly
+like ``LocalComm`` — MPI-style (source, dest, tag) matching, eager
+copy-out on send, flow control on occupied keys, absence budgets, drain
+scoping and the message log."""
+
+import multiprocessing
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.resilience.errors import HaloTimeoutError, OrphanedMessagesWarning
+from repro.runtime.procs import ProcComm, ShmTransport
+
+
+@pytest.fixture()
+def transport():
+    ctx = multiprocessing.get_context()
+    t = ShmTransport.create(n_slots=4, slot_bytes=8192, ctx=ctx)
+    yield t
+    t.close()
+
+
+@pytest.fixture()
+def comm(transport):
+    c = ProcComm(transport, size=6)
+    c.max_polls = 4
+    c.poll_interval = 0.01
+    return c
+
+
+def test_roundtrip_preserves_shape_dtype_and_bits(comm):
+    rng = np.random.default_rng(3)
+    for payload in (
+        rng.random((5, 7)),
+        rng.random((3, 4, 5)),
+        rng.random((8,)).astype(np.float32),
+        np.arange(12, dtype=np.int64).reshape(3, 4),
+    ):
+        comm.Isend(payload, source=0, dest=1, tag=42)
+        out = np.empty_like(payload)
+        comm.Irecv(out, source=0, dest=1, tag=42).wait()
+        np.testing.assert_array_equal(out, payload)
+        assert out.dtype == payload.dtype
+
+
+def test_send_is_an_eager_copy(comm):
+    buf = np.ones((4, 4))
+    comm.Isend(buf, source=0, dest=1, tag=1)
+    buf[:] = -7.0  # mutate after post: receiver must see the snapshot
+    out = np.empty_like(buf)
+    comm.Irecv(out, source=0, dest=1, tag=1).wait()
+    np.testing.assert_array_equal(out, np.ones((4, 4)))
+
+
+def test_tag_and_source_matching(comm):
+    comm.Isend(np.full((2, 2), 1.0), source=0, dest=1, tag=5)
+    comm.Isend(np.full((2, 2), 2.0), source=2, dest=1, tag=5)
+    comm.Isend(np.full((2, 2), 3.0), source=0, dest=1, tag=6)
+    out = np.empty((2, 2))
+    comm.Irecv(out, source=2, dest=1, tag=5).wait()
+    assert out[0, 0] == 2.0
+    comm.Irecv(out, source=0, dest=1, tag=6).wait()
+    assert out[0, 0] == 3.0
+    comm.Irecv(out, source=0, dest=1, tag=5).wait()
+    assert out[0, 0] == 1.0
+
+
+def test_absent_message_times_out_with_pending_keys(comm):
+    comm.Isend(np.zeros(3), source=0, dest=2, tag=9)
+    out = np.empty(3)
+    with pytest.raises(HaloTimeoutError) as err:
+        comm.Irecv(out, source=1, dest=2, tag=9).wait()
+    assert (0, 2, 9) in err.value.pending
+
+
+def test_duplicate_key_send_blocks_until_receiver_drains(comm):
+    comm.max_polls = 100  # budget must outlast the late receiver
+    comm.Isend(np.full(4, 1.0), source=0, dest=1, tag=7)
+    received = []
+
+    def late_receiver():
+        time.sleep(0.05)
+        out = np.empty(4)
+        comm.Irecv(out, source=0, dest=1, tag=7).wait()
+        received.append(out[0])
+
+    thread = threading.Thread(target=late_receiver)
+    thread.start()
+    # blocks until the receiver drains the first message, then lands
+    comm.Isend(np.full(4, 2.0), source=0, dest=1, tag=7)
+    thread.join()
+    assert received == [1.0]
+    out = np.empty(4)
+    comm.Irecv(out, source=0, dest=1, tag=7).wait()
+    assert out[0] == 2.0
+
+
+def test_duplicate_key_send_raises_after_budget(comm):
+    comm.Isend(np.zeros(2), source=0, dest=1, tag=3)
+    with pytest.raises(RuntimeError, match="already in flight"):
+        comm.Isend(np.zeros(2), source=0, dest=1, tag=3)
+
+
+def test_mailbox_full_raises_after_budget(transport):
+    comm = ProcComm(transport, size=6)
+    comm.max_polls = 3
+    comm.poll_interval = 0.01
+    for tag in range(transport.n_slots):
+        comm.Isend(np.zeros(2), source=0, dest=1, tag=tag)
+    with pytest.raises(RuntimeError, match="mailbox full"):
+        comm.Isend(np.zeros(2), source=0, dest=1, tag=999)
+
+
+def test_oversized_payload_is_a_clear_error(comm):
+    with pytest.raises(ValueError, match="slot capacity"):
+        comm.Isend(np.zeros(10_000), source=0, dest=1, tag=0)
+
+
+def test_latency_defers_delivery(comm):
+    comm.latency = 0.08
+    t0 = time.monotonic()
+    comm.Isend(np.ones(3), source=0, dest=1, tag=2)
+    req = comm.Irecv(np.empty(3), source=0, dest=1, tag=2)
+    assert not req.test()  # present but not deliverable yet
+    req.wait()
+    assert time.monotonic() - t0 >= 0.08
+    # the latency wait is not charged to the absence budget
+    assert comm.timeout < 0.08
+
+
+def test_drain_is_scoped_to_owned_ranks(transport):
+    comm_all = ProcComm(transport, size=6)
+    comm_all.Isend(np.zeros(2), source=0, dest=1, tag=0)
+    comm_all.Isend(np.zeros(2), source=0, dest=4, tag=0)
+    mine = ProcComm(transport, size=6, owned_ranks=(0, 1, 2))
+    orphans = mine.drain()
+    assert orphans == [(0, 1, 0)]
+    assert comm_all.pending() == [(0, 4, 0)]
+
+
+def test_finalize_warns_on_orphans(comm):
+    comm.Isend(np.zeros(2), source=0, dest=1, tag=0)
+    with pytest.warns(OrphanedMessagesWarning):
+        leftover = comm.finalize()
+    assert leftover == [(0, 1, 0)]
+    assert comm.pending() == []
+
+
+def test_message_log_and_byte_accounting(comm):
+    comm.Isend(np.zeros(4), source=0, dest=1, tag=0)
+    comm.Isend(np.zeros(8), source=0, dest=2, tag=0)
+    comm.Isend(np.zeros(2), source=3, dest=0, tag=1)
+    assert comm.bytes_by_rank() == {0: 96, 3: 16}
+    assert sorted(comm.message_sizes()) == [16, 32, 64]
+    assert comm.message_sizes(rank=3) == [16]
+    comm.reset_log()
+    assert comm.message_sizes() == []
+    comm.drain()
